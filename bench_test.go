@@ -1,0 +1,71 @@
+package scale
+
+import (
+	"testing"
+
+	"scale/internal/bench"
+)
+
+// One benchmark per table and figure of the paper's evaluation (§VII).
+// Each regenerates its experiment from the accelerator models; run with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the paper-vs-measured comparison.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	s := bench.NewSuite()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := e.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", t.Render())
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig1a(b *testing.B)  { benchExperiment(b, "fig1a") }
+func BenchmarkFig1b(b *testing.B)  { benchExperiment(b, "fig1b") }
+func BenchmarkFig1c(b *testing.B)  { benchExperiment(b, "fig1c") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13a(b *testing.B) { benchExperiment(b, "fig13a") }
+func BenchmarkFig13b(b *testing.B) { benchExperiment(b, "fig13b") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+func BenchmarkFig16a(b *testing.B) { benchExperiment(b, "fig16a") }
+func BenchmarkFig16b(b *testing.B) { benchExperiment(b, "fig16b") }
+
+// Extensions beyond the paper's evaluation (DESIGN.md §3).
+func BenchmarkExtAblation(b *testing.B) { benchExperiment(b, "ext-ablation") }
+func BenchmarkExtGAT(b *testing.B)      { benchExperiment(b, "ext-gat") }
+func BenchmarkExtBatch(b *testing.B)    { benchExperiment(b, "ext-batch") }
+func BenchmarkExtSweep(b *testing.B)    { benchExperiment(b, "ext-sweep") }
+func BenchmarkExtIGCN(b *testing.B)     { benchExperiment(b, "ext-igcn") }
+func BenchmarkExtMapping(b *testing.B)  { benchExperiment(b, "ext-mapping") }
+func BenchmarkExtQuant(b *testing.B)    { benchExperiment(b, "ext-quant") }
+
+// BenchmarkSimulateGCNCora measures one end-to-end SCALE simulation — the
+// simulator's own throughput, not the modeled accelerator's.
+func BenchmarkSimulateGCNCora(b *testing.B) {
+	sim, err := New(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Simulate("gcn", "cora"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// scale-bench regenerates the tables and figures of the SCALE paper's
+// evaluation (§VII) from the accelerator models.
+//
+// Usage:
+//
+//	scale-bench                 # run every experiment
+//	scale-bench -exp fig10      # run one experiment
+//	scale-bench -list           # list experiment ids
+//	scale-bench -macs 2048      # override the MAC budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scale/internal/bench"
+	"scale/internal/graph"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id to run (default: all)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		macs   = flag.Int("macs", 1024, "equalized MAC budget")
+		only   = flag.String("datasets", "", "comma-separated dataset subset (e.g. cora,pubmed)")
+		format = flag.String("format", "text", "output format: text, csv, json")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	s := bench.NewSuite()
+	s.MACs = *macs
+	if *only != "" {
+		s.Datasets = strings.Split(*only, ",")
+		for _, d := range s.Datasets {
+			if _, err := graph.ByName(d); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	experiments := bench.Experiments()
+	if *exp == "" {
+		// Full runs touch every cell; warm the cache in parallel first.
+		if err := s.Warm(8); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *exp != "" {
+		e, err := bench.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		experiments = []bench.Experiment{e}
+	}
+	for _, e := range experiments {
+		t, err := e.Run(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		out, err := t.Format(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

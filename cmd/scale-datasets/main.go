@@ -1,0 +1,86 @@
+// scale-datasets inspects the Table II dataset registry: structure
+// statistics of the synthetic full-size profiles, redundancy analysis of the
+// materialized builds, and optional binary export of the built graphs.
+//
+// Usage:
+//
+//	scale-datasets                   # print the registry
+//	scale-datasets -analyze          # add redundancy analysis (builds graphs)
+//	scale-datasets -export ./graphs  # write built graphs as .scg files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"scale/internal/graph"
+	"scale/internal/redundancy"
+)
+
+func main() {
+	var (
+		analyze = flag.Bool("analyze", false, "run redundancy analysis on the built graphs")
+		export  = flag.String("export", "", "directory to export built graphs into")
+		hist    = flag.String("hist", "", "print the degree histogram of one dataset")
+	)
+	flag.Parse()
+
+	fmt.Printf("%-10s %10s %12s %8s %7s %7s  %s\n",
+		"dataset", "|V|", "|E|", "avg-deg", "max", "gini", "feature dims")
+	for _, d := range graph.AllDatasets() {
+		p := d.Profile()
+		st := graph.Stats(p)
+		fmt.Printf("%-10s %10d %12d %8.1f %7d %7.3f  %v\n",
+			d.Name, p.NumVertices(), p.NumEdges(), p.AvgDegree(), st.Max, st.Gini, d.FeatureDims)
+	}
+
+	if *hist != "" {
+		d, err := graph.ByName(*hist)
+		if err != nil {
+			fatal(err)
+		}
+		p := d.Profile()
+		fmt.Printf("\n%s degree histogram (p50=%d p90=%d p99=%d max=%d):\n%s",
+			d.Name, graph.Percentile(p, 0.5), graph.Percentile(p, 0.9),
+			graph.Percentile(p, 0.99), p.MaxDegree(), graph.HistogramOf(p))
+	}
+
+	if *analyze {
+		fmt.Println("\nredundancy analysis (materialized builds; Nell/Reddit at scale):")
+		for _, d := range graph.AllDatasets() {
+			g := d.Build()
+			an := redundancy.Analyze(g)
+			fmt.Printf("%-10s build |V|=%d |E|=%d  %v\n",
+				d.Name, g.NumVertices(), g.NumEdges(), an)
+		}
+	}
+
+	if *export != "" {
+		if err := os.MkdirAll(*export, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, d := range graph.AllDatasets() {
+			g := d.Build()
+			path := filepath.Join(*export, d.Name+".scg")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := graph.Encode(f, g); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (|V|=%d |E|=%d)\n", path, g.NumVertices(), g.NumEdges())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scale-datasets:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// scale-dse explores the SCALE hardware design space for a workload: it
+// evaluates PE-array geometries and buffer capacities, prints the
+// latency/area Pareto front, and picks the best design under an area budget
+// and by energy-delay product.
+//
+// Usage:
+//
+//	scale-dse -model gcn -dataset pubmed
+//	scale-dse -model gin -dataset nell -area 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scale/internal/dse"
+	"scale/internal/gnn"
+	"scale/internal/graph"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "gcn", "GNN model")
+		dataset = flag.String("dataset", "cora", "dataset")
+		budget  = flag.Float64("area", 0, "area budget in mm² (0 = no budget pick)")
+	)
+	flag.Parse()
+
+	d, err := graph.ByName(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := gnn.NewModel(*model, d.FeatureDims, 1)
+	if err != nil {
+		fatal(err)
+	}
+	space := dse.DefaultSpace()
+	fmt.Printf("exploring %d design points for %s/%s...\n", space.Size(), *model, *dataset)
+	points, err := dse.Explore(space, m, d.Profile())
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("\nlatency/area Pareto front:")
+	for _, p := range dse.Pareto(points) {
+		fmt.Println(" ", p)
+	}
+
+	if best, err := dse.BestEDP(points); err == nil {
+		fmt.Println("\nbest energy-delay product:")
+		fmt.Println(" ", best)
+	}
+	if *budget > 0 {
+		best, err := dse.BestUnderArea(points, *budget)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nfastest under %.1f mm²:\n  %v\n", *budget, best)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scale-dse:", err)
+	os.Exit(1)
+}

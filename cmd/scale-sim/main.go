@@ -1,0 +1,115 @@
+// scale-sim runs one GNN workload through the SCALE accelerator model (and
+// optionally the baselines) and prints the resulting report.
+//
+// Usage:
+//
+//	scale-sim -model gcn -dataset cora
+//	scale-sim -model gin -dataset pubmed -macs 2048 -ring 32 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"scale"
+	"scale/internal/core"
+	"scale/internal/gnn"
+	"scale/internal/graph"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "gcn", "GNN model: gcn, ggcn, gs-pl, gin, gat")
+		dataset = flag.String("dataset", "cora", "dataset: cora, citeseer, pubmed, nell, reddit")
+		macs    = flag.Int("macs", 1024, "MAC budget: 512, 1024, 2048, 4096")
+		ring    = flag.Int("ring", 0, "forced ring size (0 = Eq. 3 per layer)")
+		batch   = flag.Int("batch", 0, "forced batch size (0 = analytical model)")
+		policy  = flag.String("policy", "dvs", "scheduling: dvs, degree, vertex")
+		compare = flag.Bool("compare", false, "also run every supporting baseline")
+		trace   = flag.Bool("trace", false, "print per-layer execution traces")
+		cfgPath = flag.String("config", "", "JSON hardware configuration file (overrides -macs/-ring/-batch)")
+	)
+	flag.Parse()
+
+	if *cfgPath != "" {
+		runWithConfigFile(*cfgPath, *model, *dataset)
+		return
+	}
+
+	sim, err := scale.New(scale.Options{
+		MACs: *macs, RingSize: *ring, BatchSize: *batch, Scheduling: *policy,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	report, traces, err := sim.SimulateTraced(*model, *dataset)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(report)
+	if *trace {
+		for _, lt := range traces {
+			fmt.Printf("  layer %d: ring=%d rings=%d batch=%d batches=%d evenness=%.2f\n",
+				lt.Layer, lt.RingSize, lt.NumRings, lt.BatchSize, lt.NumBatches, lt.BatchEvenness)
+		}
+	}
+	fmt.Printf("  breakdown: agg %.1f%%  update %.1f%%  comm %.1f%%  sched %.1f%%  mem %.1f%%\n",
+		100*report.AggShare, 100*report.UpdateShare, 100*report.CommShare,
+		100*report.SchedShare, 100*report.MemShare)
+
+	if *compare {
+		all, err := scale.Compare(*model, *dataset)
+		if err != nil {
+			fatal(err)
+		}
+		names := make([]string, 0, len(all))
+		for n := range all {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return all[names[i]].Cycles < all[names[j]].Cycles })
+		fmt.Println("\ncomparison (fastest first):")
+		for _, n := range names {
+			r := all[n]
+			fmt.Printf("  %-8s %12d cycles  %6.2fx vs SCALE\n", n, r.Cycles,
+				float64(r.Cycles)/float64(all["SCALE"].Cycles))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scale-sim:", err)
+	os.Exit(1)
+}
+
+// runWithConfigFile simulates with a JSON-specified hardware configuration.
+func runWithConfigFile(path, model, dataset string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	cfg, err := core.ConfigFromJSON(f)
+	if err != nil {
+		fatal(err)
+	}
+	accel, err := core.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := graph.ByName(dataset)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := gnn.NewModel(model, d.FeatureDims, 1)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := accel.Run(m, d.Profile())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s (%dx%d array, %d MACs): %d cycles, util agg=%.1f%% upd=%.1f%%\n",
+		r.Accelerator, cfg.Rows, cfg.Cols, accel.MACs(), r.Cycles, 100*r.AggUtil, 100*r.UpdateUtil)
+}

@@ -1,0 +1,60 @@
+package scale_test
+
+import (
+	"fmt"
+	"sort"
+
+	"scale"
+)
+
+// Simulate GCN inference on Cora with the paper's default configuration.
+func ExampleSimulator_Simulate() {
+	sim, err := scale.New(scale.Options{})
+	if err != nil {
+		panic(err)
+	}
+	report, err := sim.Simulate("gcn", "cora")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(report.Accelerator, report.Model, report.Dataset, report.Cycles > 0)
+	// Output: SCALE gcn cora true
+}
+
+// Run functional inference over an explicit edge list.
+func ExampleSimulator_Infer() {
+	sim, err := scale.New(scale.Options{})
+	if err != nil {
+		panic(err)
+	}
+	out, err := sim.Infer("gin", []int{2, 3}, 3,
+		[][2]int{{0, 1}, {2, 1}},
+		[][]float32{{1, 0}, {0, 1}, {1, 1}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(out), len(out[0]))
+	// Output: 3 3
+}
+
+// Compare SCALE against every baseline that supports the model.
+func ExampleCompare() {
+	reports, err := scale.Compare("gcn", "citeseer")
+	if err != nil {
+		panic(err)
+	}
+	names := make([]string, 0, len(reports))
+	for name := range reports {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println(names)
+	// Output: [AWB-GCN FlowGNN GCNAX ReGNN SCALE]
+}
+
+// List the regenerable experiments.
+func ExampleExperimentIDs() {
+	ids := scale.ExperimentIDs()
+	fmt.Println(len(ids), ids[0], ids[4])
+	// Output: 21 table1 fig10
+}

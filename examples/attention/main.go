@@ -1,0 +1,72 @@
+// Attention extension: run GAT — whose per-edge attention scores are the
+// SDDMM-style computation that motivates message passing support in §I —
+// through SCALE and the message passing baselines, then verify functionally
+// that the dataflow computes a proper softmax (attention weights on a star
+// graph with identical leaves are uniform).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"scale"
+)
+
+func main() {
+	// Timing: GAT across the Table II datasets.
+	fmt.Println("GAT (single-head attention) — SCALE vs message passing baselines")
+	fmt.Printf("%-10s %14s %10s %10s\n", "dataset", "SCALE cycles", "vs ReGNN", "vs FlowGNN")
+	for _, ds := range scale.Datasets() {
+		all, err := scale.Compare("gat", ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := all["SCALE"]
+		fmt.Printf("%-10s %14d %9.2fx %9.2fx\n", ds, s.Cycles,
+			float64(all["ReGNN"].Cycles)/float64(s.Cycles),
+			float64(all["FlowGNN"].Cycles)/float64(s.Cycles))
+		if _, ok := all["AWB-GCN"]; ok {
+			log.Fatal("SpMM-only accelerators must not appear for GAT")
+		}
+	}
+
+	// Functional check: a 5-leaf star whose leaves carry identical
+	// features. Softmax attention over identical keys is uniform, so the
+	// hub's embedding must equal any single leaf's transformed feature.
+	sim, err := scale.New(scale.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n, dim = 6, 4
+	var edges [][2]int
+	features := make([][]float32, n)
+	features[0] = make([]float32, dim)
+	leaf := []float32{0.4, -0.1, 0.3, 0.2}
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{v, 0})
+		features[v] = leaf
+	}
+	out, err := sim.Infer("gat", []int{dim, dim}, n, edges, features)
+	if err != nil {
+		log.Fatal(err)
+	}
+	single, err := sim.Infer("gat", []int{dim, dim}, 2,
+		[][2]int{{1, 0}}, [][]float32{make([]float32, dim), leaf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var maxDiff float64
+	for i := range out[0] {
+		d := math.Abs(float64(out[0][i] - single[0][i]))
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("\nsoftmax sanity: |hub(5 identical leaves) − hub(1 leaf)|∞ = %.2g", maxDiff)
+	if maxDiff < 1e-5 {
+		fmt.Println("  ✓ attention weights are a proper softmax")
+	} else {
+		fmt.Println("  ✗ attention normalization broken")
+	}
+}

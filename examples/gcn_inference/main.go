@@ -1,0 +1,93 @@
+// Functional inference on a user-supplied graph: build a small citation-like
+// network, run 2-layer GCN through the SCALE dataflow (scheduled reduce
+// chains + weight-stationary updates), and classify each vertex by its
+// largest output logit. Demonstrates that the accelerator's functional path
+// produces real embeddings, not just cycle counts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"scale"
+)
+
+func main() {
+	const (
+		numVertices = 60
+		inDim       = 16
+		hidden      = 8
+		classes     = 3
+	)
+	rng := rand.New(rand.NewSource(42))
+
+	// Three communities with dense intra-community citation edges: the
+	// aggregation should pull each vertex's embedding toward its block.
+	var edges [][2]int
+	community := make([]int, numVertices)
+	for v := 0; v < numVertices; v++ {
+		community[v] = v % classes
+	}
+	for v := 0; v < numVertices; v++ {
+		for k := 0; k < 4; k++ {
+			u := rng.Intn(numVertices)
+			if u != v && community[u] == community[v] {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+
+	// Features: a noisy one-hot block signature per community.
+	features := make([][]float32, numVertices)
+	for v := range features {
+		f := make([]float32, inDim)
+		for i := range f {
+			f[i] = rng.Float32() * 0.1
+		}
+		for i := community[v]; i < inDim; i += classes {
+			f[i] += 1
+		}
+		features[v] = f
+	}
+
+	sim, err := scale.New(scale.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := sim.Infer("gcn", []int{inDim, hidden, classes}, numVertices, edges, features)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Vertices of the same community should share an argmax logit: count
+	// how consistently the dataflow's embeddings separate the blocks.
+	votes := make([]map[int]int, classes)
+	for c := range votes {
+		votes[c] = map[int]int{}
+	}
+	for v, logits := range out {
+		best := 0
+		for i, l := range logits {
+			if l > logits[best] {
+				best = i
+			}
+		}
+		votes[community[v]][best]++
+	}
+	fmt.Printf("GCN inference over %d vertices, %d edges (SCALE dataflow):\n", numVertices, len(edges))
+	agreement := 0
+	for c, dist := range votes {
+		top, n, total := 0, 0, 0
+		for logit, count := range dist {
+			total += count
+			if count > n {
+				top, n = logit, count
+			}
+		}
+		agreement += n
+		fmt.Printf("  community %d → dominant logit %d (%d/%d vertices)\n", c, top, n, total)
+	}
+	fmt.Printf("block consistency: %d/%d vertices follow their community's dominant logit\n",
+		agreement, numVertices)
+}

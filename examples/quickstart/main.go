@@ -1,0 +1,45 @@
+// Quickstart: simulate 2-layer GCN inference on Cora with the paper's
+// default SCALE configuration (32×16 PE array, 1024 MACs), then compare
+// against the four baseline accelerators.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"scale"
+)
+
+func main() {
+	sim, err := scale.New(scale.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := sim.Simulate("gcn", "cora")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SCALE on GCN/Cora:")
+	fmt.Println(" ", report)
+	fmt.Printf("  latency breakdown: aggregation %.1f%%, update %.1f%%, exposed comm %.1f%%, sched %.1f%%, memory %.1f%%\n\n",
+		100*report.AggShare, 100*report.UpdateShare, 100*report.CommShare,
+		100*report.SchedShare, 100*report.MemShare)
+
+	all, err := scale.Compare("gcn", "cora")
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return all[names[i]].Cycles < all[names[j]].Cycles })
+	fmt.Println("All accelerators (fastest first):")
+	for _, n := range names {
+		r := all[n]
+		fmt.Printf("  %-8s %10d cycles   %5.2fx slower than SCALE\n",
+			n, r.Cycles, float64(r.Cycles)/float64(all["SCALE"].Cycles))
+	}
+}

@@ -1,0 +1,139 @@
+package baseline
+
+import (
+	"fmt"
+
+	"scale/internal/mem"
+	"scale/internal/noc"
+)
+
+// newBaseline wires a spec to the shared §VI memory system.
+func newBaseline(s spec, macs int) *Baseline {
+	return &Baseline{spec: s, macs: macs, gb: mem.DefaultGlobalBuffer(), hbm: mem.DefaultHBM()}
+}
+
+// NewAWBGCN models AWB-GCN (Geng et al., MICRO'20): a unified SpMM engine
+// with runtime autotuned workload rebalancing over an all-to-all network.
+// Phases are not pipelined (§VII-A: "they do not pipeline both phases of
+// GNN computation... considerable amount of redundant memory accesses"),
+// aggregation runs on the full input feature width (SpMM A·X first), and
+// intermediates round-trip off chip when they outgrow the global buffer.
+func NewAWBGCN(macs int) *Baseline {
+	return newBaseline(spec{
+		name:              "AWB-GCN",
+		pipelined:         false,
+		network:           noc.AllToAll,
+		rebalance:         0.70, // autotuning converges to ≈87 % utilization
+		rebalanceOverhead: 0.10,
+		spMMOnly:          true,
+		intermediateReuse: 0.70,
+		memOverlap:        0.60,
+		commOverlap:       0.70,
+		scalingAlpha:      0.06,
+		localReuse:        0.19,
+	}, macs)
+}
+
+// calibration notes: the overlap/reuse constants above and below are the
+// package's only free parameters; they are set once so the §VII-A anchor
+// averages reproduce (see bench tests), then held fixed across every other
+// experiment (scalability, utilization, energy, Table III).
+
+// NewGCNAX models GCNAX (Li et al., HPCA'21): loop fusion and reordering on
+// a flexible single engine. Fusion keeps intermediates on chip and
+// reordering aggregates on the narrow feature side, but the uniform-tile
+// dataflow parallelizes poorly when scaled to many MACs (§VI: "suffer from
+// imbalanced workloads in their processing units when scaling up the number
+// of MAC units") and the paper classes its communication latency as high.
+func NewGCNAX(macs int) *Baseline {
+	return newBaseline(spec{
+		name:              "GCNAX",
+		pipelined:         true,
+		network:           noc.Benes,
+		spMMOnly:          true,
+		commPerEdge:       true, // serial gather through the single flexible engine
+		intermediateReuse: 0.85,
+		memOverlap:        0.70,
+		commOverlap:       0.35,
+		scalingAlpha:      0.20,
+		localReuse:        0.19,
+	}, macs)
+}
+
+// NewReGNN models ReGNN (Chen et al., HPCA'22): redundancy-eliminated
+// neighborhood message passing on disjoint aggregation/update engines. Its
+// dynamic comparator window realizes a fraction of the statically capturable
+// redundancy (set RedundancyRate from internal/redundancy per dataset);
+// the disjoint engines suffer aggregation imbalance and medium reuse.
+func NewReGNN(macs int) *Baseline {
+	return newBaseline(spec{
+		name:              "ReGNN",
+		pipelined:         true,
+		network:           noc.Crossbar,
+		aggFrac:           0.4,
+		elimEff:           1.0, // comparator capture ≈ the static pair bound
+		intermediateReuse: 0.70,
+		memOverlap:        0.55,
+		commOverlap:       0.50,
+		scalingAlpha:      0.10,
+		localReuse:        0.19,
+	}, macs)
+}
+
+// NewFlowGNN models FlowGNN (Sarkar et al., HPCA'23): a message-passing
+// dataflow architecture with twice as many message-passing units as node
+// transform units (the §VI configuration), vertex-centric workload
+// assignment (Fig. 1a under-utilization), a deep interconnect, and low
+// intermediate reuse (Table I).
+func NewFlowGNN(macs int) *Baseline {
+	return newBaseline(spec{
+		name:              "FlowGNN",
+		pipelined:         true,
+		network:           noc.Benes,
+		aggFrac:           0.27, // 2:1 MP:NT units; NT units carry wide vector MACs
+		intermediateReuse: 0.65,
+		memOverlap:        0.70,
+		commOverlap:       0.80,
+		scalingAlpha:      0.12,
+		localReuse:        0.19,
+	}, macs)
+}
+
+// NewIGCN models I-GCN (Geng et al., MICRO'21): runtime islandization
+// extracts dense neighborhood regions by breadth-first search, converting
+// intra-island aggregation into balanced dense-dense blocks with strong
+// operand locality (Table I: dense-dense optimized, medium reuse, high
+// communication latency). Set LocalityRate from graph.Islandize for the
+// dataset. SpMM/GEMM-representable models only. I-GCN appears in Table I but
+// not in the paper's Fig. 10 set; the ext-igcn experiment compares it.
+func NewIGCN(macs int) *Baseline {
+	return newBaseline(spec{
+		name:              "I-GCN",
+		pipelined:         true,
+		network:           noc.Benes,
+		spMMOnly:          true,
+		useLocality:       true,
+		intermediateReuse: 0.60,
+		memOverlap:        0.65,
+		commOverlap:       0.55,
+		scalingAlpha:      0.15,
+		localReuse:        0.33,
+	}, macs)
+}
+
+// All returns the four baselines at the given MAC budget, in the paper's
+// presentation order.
+func All(macs int) []*Baseline {
+	return []*Baseline{NewAWBGCN(macs), NewGCNAX(macs), NewReGNN(macs), NewFlowGNN(macs)}
+}
+
+// ByName returns the named baseline, including I-GCN (which is outside the
+// Fig. 10 set All returns).
+func ByName(name string, macs int) (*Baseline, error) {
+	for _, b := range append(All(macs), NewIGCN(macs)) {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("baseline: unknown accelerator %q", name)
+}

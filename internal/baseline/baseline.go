@@ -1,0 +1,289 @@
+// Package baseline models the four state-of-the-art accelerators SCALE is
+// compared against (§VI): AWB-GCN, GCNAX, ReGNN, and FlowGNN. Following the
+// paper's methodology, each baseline is modeled inside the same simulation
+// framework with its published optimization, and all are equalized to
+// SCALE's clock frequency, MAC count, memory bandwidth, and on-chip capacity.
+//
+// Each architecture is expressed as a spec of structural mechanisms — loop
+// reordering, phase pipelining, engine split, runtime rebalancing, loop
+// fusion, redundancy elimination, interconnect topology — plus a small set
+// of documented calibration constants (overlap factors, register-reuse
+// ratio) chosen so the §VII anchor results reproduce. See DESIGN.md §1.
+package baseline
+
+import (
+	"math"
+
+	"scale/internal/arch"
+	"scale/internal/gnn"
+	"scale/internal/graph"
+	"scale/internal/mem"
+	"scale/internal/noc"
+	"scale/internal/sched"
+)
+
+// spec captures one baseline's architectural mechanisms.
+type spec struct {
+	name string
+	// pipelined: aggregation and update phases overlap (dataflow
+	// architectures); otherwise they serialize per layer (AWB-GCN).
+	pipelined bool
+	// network is the inter-engine interconnect (Table I comm latency).
+	network noc.Kind
+	// aggFrac is the MAC fraction dedicated to aggregation engines;
+	// 0 means a unified pool serving both phases.
+	aggFrac float64
+	// rebalance is the fraction of workload imbalance removed at runtime
+	// (AWB-GCN's autotuning); 0 means fixed assignment.
+	rebalance float64
+	// rebalanceOverhead is the extra aggregation-time fraction spent
+	// redistributing work.
+	rebalanceOverhead float64
+	// spMMOnly restricts the architecture to SpMM/GEMM-representable
+	// models (Table I: no message passing support).
+	spMMOnly bool
+	// commPerEdge charges network traffic per edge message (serial
+	// gather/scatter architectures) instead of per aggregated vertex.
+	commPerEdge bool
+	// intermediateReuse is the fraction of inter-phase intermediate
+	// traffic kept on chip (Table I data-reuse column: SCALE keeps all
+	// of it at register level; baselines spill some or all).
+	intermediateReuse float64
+	// elimEff scales the dataset's captured redundancy rate (ReGNN's
+	// dynamic detection realizes a fraction of the static bound).
+	elimEff float64
+	// memOverlap / commOverlap are the fractions of memory and network
+	// latency hidden behind compute.
+	memOverlap, commOverlap float64
+	// scalingAlpha is the utilization decay exponent beyond 512 MACs
+	// (architectures whose dataflow parallelizes poorly at scale).
+	scalingAlpha float64
+	// localReuse is register-level reuse relative to SCALE (§VII-G:
+	// SCALE's local-buffer traffic is ≈5.7× the baselines').
+	localReuse float64
+	// useLocality: apply the dataset's island locality (I-GCN's
+	// islandization converts intra-island aggregation into dense blocks).
+	useLocality bool
+}
+
+// Baseline is a configured baseline accelerator model.
+type Baseline struct {
+	spec spec
+	macs int
+	gb   mem.GlobalBuffer
+	hbm  mem.HBM
+	// RedundancyRate is the dataset's captured redundant-aggregation
+	// fraction (from internal/redundancy); only ReGNN consumes it.
+	RedundancyRate float64
+	// LocalityRate is the dataset's island locality (from
+	// graph.Islandize); only I-GCN consumes it: intra-island edges run as
+	// dense blocks with near-perfect balance and on-chip operand reuse.
+	LocalityRate float64
+}
+
+// Name implements arch.Accelerator.
+func (b *Baseline) Name() string { return b.spec.name }
+
+// MACs implements arch.Accelerator.
+func (b *Baseline) MACs() int { return b.macs }
+
+// Supports implements arch.Accelerator.
+func (b *Baseline) Supports(m *gnn.Model) bool {
+	if b.spec.spMMOnly {
+		return !m.MessagePassing()
+	}
+	return true
+}
+
+// Run implements arch.Accelerator.
+func (b *Baseline) Run(m *gnn.Model, p *graph.Profile) (*arch.Result, error) {
+	if err := arch.CheckRunnable(b, m, p); err != nil {
+		return nil, err
+	}
+	res := &arch.Result{Accelerator: b.Name(), Model: m.Name(), Dataset: p.Name}
+
+	// Workload distribution: baselines statically assign vertex chunks to
+	// engines (FlowGNN/PowerGraph-style vertex-centric partitioning,
+	// §II-B); AWB-GCN then removes part of the resulting imbalance at
+	// runtime.
+	nUnits := b.macs / 2
+	if nUnits < 1 {
+		nUnits = 1
+	}
+	groups, err := sched.Schedule(p.Degrees, sched.AllVertices(p.NumVertices()),
+		sched.Config{NumTasks: nUnits, NumGroups: nUnits, Policy: sched.VertexAware})
+	if err != nil {
+		return nil, err
+	}
+	// Queue smoothing: engines drain their vertex queues asynchronously,
+	// so a straggler stalls only the pipeline tail rather than every
+	// wave; the raw mean/max balance is blended toward 1 accordingly
+	// (calibrated so FlowGNN's vertex-aware policy lands at the 62.8 %
+	// aggregation utilization of Fig. 13a).
+	const queueSmoothing = 0.55
+	aggBal := queueSmoothing + (1-queueSmoothing)*sched.EdgeBalance(groups)
+	updBal := queueSmoothing + (1-queueSmoothing)*sched.VertexBalance(groups)
+	if b.spec.rebalance > 0 {
+		aggBal = 1 - (1-aggBal)*(1-b.spec.rebalance)
+		updBal = 1 - (1-updBal)*(1-b.spec.rebalance)
+	}
+	if b.spec.useLocality {
+		// Islandized dense regions execute with near-perfect balance;
+		// only the inter-island remainder keeps the vertex-chunk skew.
+		aggBal = b.LocalityRate + (1-b.LocalityRate)*aggBal
+	}
+	// Utilization decay at scale for poorly-parallelizing dataflows.
+	scaleEff := 1.0
+	if b.macs > 512 && b.spec.scalingAlpha > 0 {
+		scaleEff = math.Pow(512/float64(b.macs), b.spec.scalingAlpha)
+	}
+
+	net := noc.New(b.spec.network, nUnits)
+	for li, layer := range m.Layers {
+		lr, traffic := b.runLayer(li, layer, p, aggBal*scaleEff, updBal*scaleEff, net)
+		res.Layers = append(res.Layers, lr)
+		res.Traffic.Add(traffic)
+	}
+	res.Finalize()
+	return res, nil
+}
+
+func (b *Baseline) runLayer(li int, layer gnn.Layer, p *graph.Profile, aggBal, updBal float64, net *noc.Network) (arch.LayerResult, mem.Traffic) {
+	w := layer.Work()
+	v := int64(p.NumVertices())
+	e := p.NumEdges()
+
+	// Every accelerator aggregates in the message passing natural order
+	// (on the layer's input-side features); redundancy elimination scales
+	// down the reduce work for architectures that implement it.
+	msgDimEff := int64(w.MsgDim)
+	elim := b.spec.elimEff * b.RedundancyRate
+	aggOps := int64(float64(e*(w.GateOpsPerEdge+w.ReduceOpsPerEdge)) * (1 - elim))
+	// Per-vertex neural transforms (pooling MLPs, gate matrices, W·h) are
+	// node-transform work: they run on the update/NT engines of split
+	// architectures and share the pool on unified ones.
+	preOps := v * (w.PreMACsPerVertex + w.DstMACsPerVertex)
+	updOps := v*w.UpdateMACsPerVertex + preOps
+
+	aggUnits := float64(b.macs)
+	updUnits := float64(b.macs)
+	if b.spec.aggFrac > 0 {
+		aggUnits = float64(b.macs) * b.spec.aggFrac
+		updUnits = float64(b.macs) * (1 - b.spec.aggFrac)
+	}
+	tAgg := int64(float64(aggOps) / (aggUnits * aggBal))
+	tUpd := int64(float64(updOps) / (updUnits * updBal))
+	var compute int64
+	if b.spec.pipelined {
+		compute = maxI64(tAgg, tUpd)
+	} else {
+		compute = tAgg + tUpd
+	}
+	compute += int64(b.spec.rebalanceOverhead * float64(tAgg))
+
+	// Inter-engine communication: every aggregated feature crosses the
+	// network between the graph and neural engines; channel count scales
+	// with the bisection (∝ √MACs) while hop latency grows with size —
+	// the §II-B disproportionate-scaling effect.
+	values := v * msgDimEff
+	if b.spec.commPerEdge {
+		// Serial gather/scatter: per-edge coordinates plus per-vertex
+		// feature vectors cross the network.
+		values = e + v*msgDimEff
+	}
+	channels := 16 * math.Sqrt(float64(b.macs))
+	commCycles := int64(float64(values) * float64(net.Hops()) / channels)
+	exposedComm := int64(float64(commCycles) * (1 - b.spec.commOverlap))
+
+	// Memory traffic. Intermediates (aggregated features and inter-layer
+	// activations) spill off-chip when they exceed the global buffer,
+	// scaled by the architecture's reuse (Table I).
+	var traffic mem.Traffic
+	inBytes := v * int64(w.InDim) * 4
+	outBytes := v * int64(w.OutDim) * 4
+	interBytes := v * msgDimEff * 4
+	var dramRead, dramWrite int64
+	inputFromDRAM := li == 0 || !b.gb.Fits(inBytes)
+	if inputFromDRAM {
+		dramRead += inBytes
+	}
+	dramRead += w.WeightBytes
+	// Oversized weights: re-stream activations per weight tile or weights
+	// per vertex batch, whichever is cheaper — the same rule the SCALE
+	// model applies (symmetric treatment, ~1K-vertex batches).
+	if passes := (w.WeightBytes + b.gb.CapacityBytes - 1) / b.gb.CapacityBytes; passes > 1 && inputFromDRAM {
+		batches := (v + 1023) / 1024
+		dramRead += minI64(inBytes*(passes-1), w.WeightBytes*maxI64(0, batches-1))
+	}
+	if !b.gb.Fits(outBytes) {
+		dramWrite += outBytes
+	}
+	spill := 1 - b.spec.intermediateReuse
+	if !b.gb.Fits(interBytes) {
+		dramWrite += int64(float64(interBytes) * spill)
+		dramRead += int64(float64(interBytes) * spill)
+	}
+	traffic.DRAMReadBytes = dramRead
+	traffic.DRAMWriteBytes = dramWrite
+	ops := aggOps + updOps
+	// Limited register-level reuse re-fetches a fraction of the operands
+	// from the global buffer (SCALE keeps them circulating in registers —
+	// the Table I data-reuse column and the §VII-G GB-energy reduction).
+	refetchScale := 1.0
+	if b.spec.useLocality {
+		// Dense intra-island blocks keep their operands on chip.
+		refetchScale = 1 - 0.7*b.LocalityRate
+	}
+	operandRefetch := int64(float64(ops*4) * (1 - b.spec.localReuse) * 0.45 * refetchScale)
+	traffic.GBReadBytes = e*msgDimEff*4 + v*int64(w.InDim)*4 + 2*interBytes + operandRefetch
+	traffic.GBWriteBytes = v*int64(w.OutDim)*4 + interBytes
+	local := int64(float64(ops*8) * b.spec.localReuse)
+	traffic.LocalReadBytes = local / 2
+	traffic.LocalWriteBytes = local / 2
+	traffic.MACs = ops
+
+	memCycles := b.hbm.StreamCycles(dramRead + dramWrite)
+	memStall := memCycles - int64(b.spec.memOverlap*float64(compute))
+	if memStall < 0 {
+		memStall = 0
+	}
+
+	lr := arch.LayerResult{
+		Layer: li,
+		Breakdown: arch.Breakdown{
+			Agg:         tAgg,
+			Update:      compute - tAgg,
+			ExposedComm: exposedComm,
+			MemStall:    memStall,
+		},
+		AggUtil:    aggBal,
+		UpdateUtil: updBal,
+	}
+	if lr.Breakdown.Update < 0 {
+		lr.Breakdown.Update = 0
+	}
+	lr.Cycles = lr.Breakdown.Total()
+	return lr, traffic
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// WithMemory overrides the memory system (the §VII-B scalability study
+// provisions bandwidth proportionally to compute).
+func (b *Baseline) WithMemory(gb mem.GlobalBuffer, hbm mem.HBM) *Baseline {
+	b.gb = gb
+	b.hbm = hbm
+	return b
+}

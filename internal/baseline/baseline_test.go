@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"testing"
+
+	"scale/internal/gnn"
+	"scale/internal/graph"
+	"scale/internal/mem"
+)
+
+func testProfile() *graph.Profile {
+	return graph.SyntheticProfile("test", 3000, 12000, 0.6, 3)
+}
+
+func TestAllFour(t *testing.T) {
+	names := map[string]bool{}
+	for _, b := range All(1024) {
+		names[b.Name()] = true
+		if b.MACs() != 1024 {
+			t.Fatalf("%s MACs = %d", b.Name(), b.MACs())
+		}
+	}
+	for _, want := range []string{"AWB-GCN", "GCNAX", "ReGNN", "FlowGNN"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+	if _, err := ByName("AWB-GCN", 512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope", 512); err == nil {
+		t.Fatal("unknown baseline must error")
+	}
+}
+
+func TestSpMMOnlySupport(t *testing.T) {
+	gcn := gnn.MustModel("gcn", []int{16, 8}, 1)
+	ggcn := gnn.MustModel("ggcn", []int{16, 8}, 1)
+	for _, b := range All(1024) {
+		if !b.Supports(gcn) {
+			t.Fatalf("%s must support GCN", b.Name())
+		}
+		switch b.Name() {
+		case "AWB-GCN", "GCNAX":
+			if b.Supports(ggcn) {
+				t.Fatalf("%s must reject message passing models (Table I)", b.Name())
+			}
+		default:
+			if !b.Supports(ggcn) {
+				t.Fatalf("%s must support message passing models", b.Name())
+			}
+		}
+	}
+}
+
+func TestRunShape(t *testing.T) {
+	p := testProfile()
+	m := gnn.MustModel("gcn", []int{64, 16, 4}, 1)
+	for _, b := range All(1024) {
+		r, err := b.Run(m, p)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if len(r.Layers) != 2 || r.Cycles <= 0 {
+			t.Fatalf("%s: malformed result %v", b.Name(), r)
+		}
+		if r.Traffic.MACs <= 0 || r.Traffic.DRAMBytes() <= 0 {
+			t.Fatalf("%s: missing traffic", b.Name())
+		}
+		for _, l := range r.Layers {
+			if l.Cycles != l.Breakdown.Total() {
+				t.Fatalf("%s layer %d: inconsistent breakdown", b.Name(), l.Layer)
+			}
+		}
+	}
+}
+
+func TestRunRejectsUnsupported(t *testing.T) {
+	p := testProfile()
+	if _, err := NewAWBGCN(1024).Run(gnn.MustModel("gin", []int{8, 4}, 1), p); err == nil {
+		t.Fatal("AWB-GCN on GIN must error")
+	}
+}
+
+// AWB-GCN's runtime rebalancing must lift utilization above the fixed
+// vertex-chunk policies on skewed graphs (Fig. 13a: 86.4 % vs 62.8 %).
+func TestRebalanceLiftsUtilization(t *testing.T) {
+	p := graph.MustByName("cora").Profile()
+	m := gnn.MustModel("gcn", []int{128, 16}, 1)
+	awb, err := NewAWBGCN(1024).Run(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := NewFlowGNN(1024).Run(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if awb.AggUtil <= fg.AggUtil {
+		t.Fatalf("AWB agg util %.2f should beat FlowGNN %.2f", awb.AggUtil, fg.AggUtil)
+	}
+	if awb.AggUtil < 0.8 || awb.AggUtil > 0.95 {
+		t.Fatalf("AWB agg util %.2f outside the Fig. 13a band", awb.AggUtil)
+	}
+	if fg.AggUtil > 0.75 {
+		t.Fatalf("FlowGNN agg util %.2f too high for vertex-aware scheduling", fg.AggUtil)
+	}
+}
+
+// ReGNN's redundancy elimination must shorten aggregation-bound runs.
+func TestRedundancyElimination(t *testing.T) {
+	p := graph.MustByName("reddit").Profile()
+	m := gnn.MustModel("gcn", []int{602, 64, 41}, 1)
+	plain := NewReGNN(1024)
+	r1, err := plain.Run(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elim := NewReGNN(1024)
+	elim.RedundancyRate = 0.45
+	r2, err := elim.Run(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cycles >= r1.Cycles {
+		t.Fatalf("elimination did not help: %d vs %d", r2.Cycles, r1.Cycles)
+	}
+	if ratio := float64(r1.Cycles) / float64(r2.Cycles); ratio < 1.2 {
+		t.Fatalf("elimination effect too weak on aggregation-bound reddit: %.2f", ratio)
+	}
+}
+
+// More MACs, proportionally provisioned bandwidth ⇒ fewer cycles.
+func TestScalingWithBandwidth(t *testing.T) {
+	p := graph.MustByName("pubmed").Profile()
+	m := gnn.MustModel("gcn", []int{500, 16, 3}, 1)
+	var prev int64
+	for i, macs := range []int{512, 1024, 2048, 4096} {
+		hbm := mem.DefaultHBM()
+		hbm.BytesPerCycle *= float64(macs) / 1024
+		b := NewFlowGNN(macs).WithMemory(mem.DefaultGlobalBuffer(), hbm)
+		r, err := b.Run(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && r.Cycles >= prev {
+			t.Fatalf("no scaling at %d MACs: %d >= %d", macs, r.Cycles, prev)
+		}
+		prev = r.Cycles
+	}
+}
+
+// The phase-serialization contrast: AWB-GCN (unpipelined) must pay the sum
+// of phases while dataflow architectures pay the max.
+func TestPipelineContrast(t *testing.T) {
+	p := testProfile()
+	m := gnn.MustModel("gcn", []int{256, 16}, 1)
+	awb, err := NewAWBGCN(1024).Run(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := awb.Layers[0].Breakdown
+	if l.Agg == 0 || l.Update == 0 {
+		t.Fatalf("unpipelined AWB must show both phases: %+v", l)
+	}
+}
+
+func TestCommGrowsWithHops(t *testing.T) {
+	p := graph.MustByName("cora").Profile()
+	m := gnn.MustModel("gcn", []int{1433, 16}, 1)
+	gcnax, err := NewGCNAX(1024).Run(m, p) // Benes, per-edge traffic
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gcnax.Breakdown.ExposedComm <= 0 {
+		t.Fatal("GCNAX must expose communication latency")
+	}
+}

@@ -1,0 +1,22 @@
+package baseline
+
+import (
+	"testing"
+
+	"scale/internal/gnn"
+	"scale/internal/graph"
+)
+
+func BenchmarkBaselinesGCNPubmed(b *testing.B) {
+	p := graph.MustByName("pubmed").Profile()
+	m := gnn.MustModel("gcn", []int{500, 16, 3}, 1)
+	accels := All(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range accels {
+			if _, err := a.Run(m, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+// One shared suite: the result cache makes the anchor tests cheap after the
+// first full pass.
+var (
+	sharedSuite *Suite
+	suiteOnce   sync.Once
+)
+
+func suite() *Suite {
+	suiteOnce.Do(func() {
+		sharedSuite = NewSuite()
+		if err := sharedSuite.Warm(8); err != nil {
+			panic(err)
+		}
+	})
+	return sharedSuite
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "x", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddNote("n=%d", 3)
+	out := tb.Render()
+	for _, want := range []string{"== x ==", "a", "bb", "note: n=3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if e.ID == "" || e.Description == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// Every table and figure of the evaluation must be present.
+	for _, want := range []string{"table1", "fig1a", "fig1b", "fig1c", "fig10", "fig11",
+		"table3", "fig12", "fig13a", "fig13b", "fig14", "fig15", "fig16a", "fig16b",
+		"ext-ablation", "ext-gat", "ext-batch"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+	if _, err := ByID("fig10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+// The §VII-A headline anchors. Bands are deliberately generous: the models
+// are calibrated once, and these tests pin the calibration against drift.
+func TestFig10Anchors(t *testing.T) {
+	sum, err := suite().Fig10Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, got, paper, lo, hi float64) {
+		if got < lo || got > hi {
+			t.Errorf("%s = %.2fx outside [%.2f, %.2f] (paper %.2fx)", name, got, lo, hi, paper)
+		}
+	}
+	check("SCALE/AWB-GCN", sum.VsAWBGCN, 1.62, 1.3, 2.0)
+	check("SCALE/GCNAX", sum.VsGCNAX, 2.01, 1.6, 2.5)
+	check("SCALE/FlowGNN", sum.VsFlowGNN, 1.57, 1.3, 2.1)
+	check("SCALE/ReGNN", sum.VsReGNN, 1.80, 1.4, 2.2)
+	check("overall", sum.Overall, 1.82, 1.5, 2.2)
+	// SCALE must beat every baseline on average.
+	for name, v := range map[string]float64{
+		"AWB": sum.VsAWBGCN, "GCNAX": sum.VsGCNAX, "FlowGNN": sum.VsFlowGNN, "ReGNN": sum.VsReGNN,
+	} {
+		if v <= 1 {
+			t.Errorf("SCALE does not beat %s: %.2f", name, v)
+		}
+	}
+}
+
+// Fig. 13a anchors: SCALE balances both phases; FlowGNN's vertex-aware
+// policy starves aggregation; AWB-GCN's rebalancing sits between.
+func TestFig13aAnchors(t *testing.T) {
+	utils, err := suite().Fig13aSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := utils["SCALE"]
+	if scale.Agg < 0.92 || scale.Update < 0.92 {
+		t.Errorf("SCALE utils %.2f/%.2f below the 98.7%%/97.3%% anchors' band", scale.Agg, scale.Update)
+	}
+	fg := utils["FlowGNN"]
+	if fg.Agg > 0.75 || fg.Agg < 0.45 {
+		t.Errorf("FlowGNN agg util %.2f outside the 62.8%% band", fg.Agg)
+	}
+	if fg.Update < 0.8 {
+		t.Errorf("FlowGNN update util %.2f below the 99.1%% anchor's band", fg.Update)
+	}
+	awb := utils["AWB-GCN"]
+	if awb.Agg < 0.78 || awb.Agg > 0.95 {
+		t.Errorf("AWB agg util %.2f outside the 86.4%% band", awb.Agg)
+	}
+	if !(fg.Agg < awb.Agg && awb.Agg < scale.Agg) {
+		t.Errorf("agg util ordering violated: %.2f %.2f %.2f", fg.Agg, awb.Agg, scale.Agg)
+	}
+}
+
+// Fig. 15 anchors: DRAM −36.8 %, GB −53.2 %, local ×5.72, total −38.9 %.
+func TestFig15Anchors(t *testing.T) {
+	n, err := suite().Fig15Numbers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.DRAMReduction < 0.2 || n.DRAMReduction > 0.55 {
+		t.Errorf("DRAM reduction %.2f outside band (paper 0.368)", n.DRAMReduction)
+	}
+	if n.GBReduction < 0.35 || n.GBReduction > 0.7 {
+		t.Errorf("GB reduction %.2f outside band (paper 0.532)", n.GBReduction)
+	}
+	if n.LocalRatio < 3 || n.LocalRatio > 8 {
+		t.Errorf("local ratio %.2f outside band (paper 5.72)", n.LocalRatio)
+	}
+	if n.TotalReduction < 0.2 || n.TotalReduction > 0.55 {
+		t.Errorf("total reduction %.2f outside band (paper 0.389)", n.TotalReduction)
+	}
+}
+
+// Table III anchor: SCALE+RR beats ReGNN everywhere, with the thinnest
+// margins expected where redundancy does the heavy lifting for ReGNN too.
+func TestTable3Anchors(t *testing.T) {
+	s := suite()
+	for _, model := range []string{"gcn", "ggcn"} {
+		for _, ds := range s.Datasets {
+			sp, err := s.Table3Cell(model, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp <= 1 {
+				t.Errorf("%s/%s: SCALE+RR must beat ReGNN, got %.2f", model, ds, sp)
+			}
+			if sp > 4 {
+				t.Errorf("%s/%s: implausible margin %.2f", model, ds, sp)
+			}
+		}
+	}
+}
+
+// Fig. 14 anchor: the sweep's best layer-1 ring for Cora is the Eq. 3
+// choice, 64.
+func TestFig14Anchor(t *testing.T) {
+	best, err := suite().Fig14Best("cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < 32 || best > 128 {
+		t.Errorf("Cora layer-1 best ring %d, paper prefers 64", best)
+	}
+}
+
+// Fig. 12 anchors: ordering at 4K MACs matches the paper (SCALE > AWB-GCN >
+// ReGNN > FlowGNN ≳ GCNAX) and SCALE scales super-baseline.
+func TestFig12Anchors(t *testing.T) {
+	sp, err := suite().Fig12Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp["SCALE"] <= sp["AWB-GCN"] {
+		t.Errorf("SCALE @4K (%.2f) must out-scale AWB-GCN (%.2f)", sp["SCALE"], sp["AWB-GCN"])
+	}
+	if sp["AWB-GCN"] <= sp["ReGNN"] {
+		t.Errorf("AWB-GCN @4K (%.2f) should out-scale ReGNN (%.2f)", sp["AWB-GCN"], sp["ReGNN"])
+	}
+	if sp["SCALE"] < 5 {
+		t.Errorf("SCALE @4K speedup %.2f too low (paper 12.07)", sp["SCALE"])
+	}
+}
+
+// Smoke-run every remaining experiment and check the tables are non-empty.
+func TestAllExperimentsRun(t *testing.T) {
+	s := suite()
+	for _, e := range Experiments() {
+		tb, err := e.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: empty table", e.ID)
+		}
+		if tb.Render() == "" {
+			t.Fatalf("%s: empty render", e.ID)
+		}
+	}
+}
+
+// Fig. 16a anchor: scheduling is hidden at B > 500 for every dataset.
+func TestFig16aAnchor(t *testing.T) {
+	tb := suite().Fig16a()
+	for _, row := range tb.Rows {
+		// column for B=1024 is index 5
+		if strings.HasPrefix(row[5], "-") {
+			t.Fatalf("negative ratio in %v", row)
+		}
+		var v float64
+		if _, err := sscan(row[5], &v); err != nil {
+			t.Fatalf("unparsable ratio %q", row[5])
+		}
+		if v >= 1 {
+			t.Errorf("%s still TS-Bound at B=1024: %v", row[0], v)
+		}
+	}
+}
+
+// Extension anchors: disabling either design choice must cost cycles, and
+// SCALE must beat the message passing baselines on GAT.
+func TestExtensionAnchors(t *testing.T) {
+	s := suite()
+	abl, err := s.ExtAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range abl.Rows {
+		var noFusion, noDB float64
+		if _, err := sscan(row[3], &noFusion); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(row[4], &noDB); err != nil {
+			t.Fatal(err)
+		}
+		if noFusion < 1 {
+			t.Errorf("%s/%s: removing operator fusion should not speed SCALE up (%.2f)", row[0], row[1], noFusion)
+		}
+		if noDB < 1 {
+			t.Errorf("%s/%s: removing double buffering should not speed SCALE up (%.2f)", row[0], row[1], noDB)
+		}
+	}
+	gat, err := s.ExtGAT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range gat.Rows {
+		var scale float64
+		if _, err := sscan(row[3], &scale); err != nil {
+			t.Fatal(err)
+		}
+		if scale <= 1 {
+			t.Errorf("%s: SCALE should beat FlowGNN on GAT, got %.2f", row[0], scale)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package bench
+
+import "fmt"
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(*Suite) (*Table, error)
+}
+
+// Experiments lists every experiment in the paper's presentation order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "qualitative accelerator comparison", func(s *Suite) (*Table, error) { return s.Table1(), nil }},
+		{"fig1a", "scheduling-induced under-utilization", (*Suite).Fig1a},
+		{"fig1b", "exposed communication vs PE count", func(s *Suite) (*Table, error) { return s.Fig1b(), nil }},
+		{"fig1c", "data volume breakdown", func(s *Suite) (*Table, error) { return s.Fig1c(), nil }},
+		{"fig10", "normalized speedup comparison", (*Suite).Fig10},
+		{"fig11", "latency breakdown", (*Suite).Fig11},
+		{"table3", "SCALE + redundancy removal vs ReGNN", (*Suite).Table3},
+		{"fig12", "scalability with MAC count", (*Suite).Fig12},
+		{"fig13a", "PE utilization comparison", (*Suite).Fig13a},
+		{"fig13b", "scheduling policy ablation", (*Suite).Fig13b},
+		{"fig14", "ring size sensitivity", (*Suite).Fig14},
+		{"fig15", "energy breakdown", (*Suite).Fig15},
+		{"fig16a", "task scheduling overhead", func(s *Suite) (*Table, error) { return s.Fig16a(), nil }},
+		{"fig16b", "area breakdown", func(s *Suite) (*Table, error) { return s.Fig16b(), nil }},
+		// Extensions beyond the paper's evaluation.
+		{"ext-ablation", "design-choice ablation (fusion, double buffering)", (*Suite).ExtAblation},
+		{"ext-gat", "GAT attention-model extension", (*Suite).ExtGAT},
+		{"ext-batch", "measured batch-size sweep", (*Suite).ExtBatchSweep},
+		{"ext-sweep", "synthetic workload sensitivity sweep", (*Suite).ExtSweep},
+		{"ext-igcn", "I-GCN islandization comparison", (*Suite).ExtIGCN},
+		{"ext-mapping", "edge- vs feature-parallel aggregation mapping", (*Suite).ExtMapping},
+		{"ext-quant", "degree-based quantization (DBQ-style)", (*Suite).ExtQuant},
+	}
+}
+
+// ByID returns the named experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}

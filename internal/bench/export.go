@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+)
+
+// CSV renders the table as RFC 4180 CSV (header row first, notes omitted).
+func (t *Table) CSV() (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.Write(t.Header); err != nil {
+		return "", err
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return "", err
+		}
+	}
+	w.Flush()
+	return b.String(), w.Error()
+}
+
+// jsonTable is the JSON wire form of a Table.
+type jsonTable struct {
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// JSON renders the table as indented JSON.
+func (t *Table) JSON() (string, error) {
+	out, err := json.MarshalIndent(jsonTable{
+		Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes,
+	}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// Format renders the table in the named format: "text" (default ASCII),
+// "csv", or "json".
+func (t *Table) Format(format string) (string, error) {
+	switch format {
+	case "", "text":
+		return t.Render(), nil
+	case "csv":
+		return t.CSV()
+	case "json":
+		return t.JSON()
+	}
+	return "", errUnknownFormat(format)
+}
+
+type errUnknownFormat string
+
+func (e errUnknownFormat) Error() string { return "bench: unknown format " + string(e) }

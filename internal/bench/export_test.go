@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{Title: "sample", Header: []string{"a", "b"}}
+	t.AddRow("1", "x,y") // comma forces CSV quoting
+	t.AddRow("2", "z")
+	t.AddNote("hello")
+	return t
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	out, err := sampleTable().CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[1][1] != "x,y" {
+		t.Fatalf("quoting broken: %q", records[1][1])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	out, err := sampleTable().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Title string     `json:"title"`
+		Rows  [][]string `json:"rows"`
+		Notes []string   `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Title != "sample" || len(decoded.Rows) != 2 || len(decoded.Notes) != 1 {
+		t.Fatalf("decoded: %+v", decoded)
+	}
+}
+
+func TestFormatDispatch(t *testing.T) {
+	tb := sampleTable()
+	for _, f := range []string{"", "text", "csv", "json"} {
+		out, err := tb.Format(f)
+		if err != nil || out == "" {
+			t.Fatalf("format %q: %v", f, err)
+		}
+	}
+	if _, err := tb.Format("xml"); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}

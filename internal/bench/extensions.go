@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"fmt"
+
+	"scale/internal/arch"
+	"scale/internal/baseline"
+	"scale/internal/core"
+	"scale/internal/energy"
+	"scale/internal/gnn"
+	"scale/internal/graph"
+	"scale/internal/quant"
+)
+
+// ExtAblation quantifies the design choices DESIGN.md calls out, beyond the
+// paper's own scheduling ablation: operator fusion (the PE's two MACs
+// serving either phase) and the double-buffered task lists (§IV-A). Each
+// knob is disabled in isolation; the slowdown is its contribution.
+func (s *Suite) ExtAblation() (*Table, error) {
+	t := &Table{
+		Title:  "Extension — design-choice ablation (slowdown vs full SCALE)",
+		Header: []string{"dataset", "model", "full", "no-operator-fusion", "no-double-buffering"},
+	}
+	for _, ds := range []string{"cora", "pubmed", "reddit"} {
+		for _, model := range []string{"gcn", "ggcn"} {
+			m := s.Model(model, ds)
+			p := s.Profile(ds)
+			run := func(mutate func(*core.Config)) (int64, error) {
+				cfg, err := core.ConfigForMACs(s.MACs)
+				if err != nil {
+					return 0, err
+				}
+				mutate(&cfg)
+				r, err := core.MustNew(cfg).Run(m, p)
+				if err != nil {
+					return 0, err
+				}
+				return r.Cycles, nil
+			}
+			full, err := run(func(*core.Config) {})
+			if err != nil {
+				return nil, err
+			}
+			noFusion, err := run(func(c *core.Config) { c.DisableOperatorFusion = true })
+			if err != nil {
+				return nil, err
+			}
+			noDB, err := run(func(c *core.Config) { c.DisableDoubleBuffering = true })
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(ds, model, "1.00",
+				f2(float64(noFusion)/float64(full)),
+				f2(float64(noDB)/float64(full)))
+		}
+	}
+	t.AddNote("operator fusion is the dominant design choice: without it one engine idles whenever phases are lopsided")
+	return t, nil
+}
+
+// ExtGAT runs the emerging-model extension: GAT's attention scores are
+// SDDMM-style edge computations (the §I motivation for message passing
+// support), expressed in SCALE as a SumNorm reduction. SpMM-only baselines
+// cannot run it; SCALE is compared against ReGNN and FlowGNN.
+func (s *Suite) ExtGAT() (*Table, error) {
+	t := &Table{
+		Title:  "Extension — GAT (attention) speedup, FlowGNN = 1.0",
+		Header: []string{"dataset", "ReGNN", "FlowGNN", "SCALE"},
+	}
+	for _, ds := range s.Datasets {
+		m := gnn.MustModel("gat", s.Model("gcn", ds).Dims(), 1)
+		p := s.Profile(ds)
+		results := map[string]*arch.Result{}
+		for _, a := range s.Accelerators(ds) {
+			if !a.Supports(m) {
+				continue
+			}
+			r, err := a.Run(m, p)
+			if err != nil {
+				return nil, err
+			}
+			results[a.Name()] = r
+		}
+		ref := results["FlowGNN"]
+		t.AddRow(ds,
+			f2(arch.Speedup(ref, results["ReGNN"])),
+			"1.00",
+			f2(arch.Speedup(ref, results["SCALE"])))
+	}
+	t.AddNote("GAT is not in the paper's evaluated set; this extends the message passing coverage to attention models")
+	return t, nil
+}
+
+// ExtBatchSweep measures (rather than analytically models) the batch-size
+// sensitivity: total cycles across forced batch sizes, normalized to the
+// automatic §IV-B choice.
+func (s *Suite) ExtBatchSweep() (*Table, error) {
+	t := &Table{
+		Title:  "Extension — measured batch-size sweep (cycles vs auto batch)",
+		Header: []string{"dataset", "B=128", "B=512", "B=2048", "B=8192", "auto"},
+	}
+	for _, ds := range []string{"cora", "pubmed", "nell"} {
+		m := s.Model("gcn", ds)
+		p := s.Profile(ds)
+		auto, err := s.SCALE().Run(m, p)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{ds}
+		for _, b := range []int{128, 512, 2048, 8192} {
+			cfg, err := core.ConfigForMACs(s.MACs)
+			if err != nil {
+				return nil, err
+			}
+			cfg.BatchSize = b
+			r, err := core.MustNew(cfg).Run(m, p)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(float64(r.Cycles)/float64(auto.Cycles)))
+		}
+		row = append(row, "1.00")
+		t.AddRow(row...)
+	}
+	t.AddNote("small batches pay scheduling exposure and hub-induced imbalance; the automatic choice tracks the sweep floor")
+	return t, nil
+}
+
+// ExtSweep maps SCALE's advantage across the workload space with synthetic
+// graphs: average degree sweeps the aggregation/update balance, feature
+// length sweeps the data-movement intensity. The series shows where the
+// fused dataflow pays off most (feature-heavy, moderate-degree graphs) and
+// where the gap narrows (degree-regular, aggregation-saturated workloads —
+// the Reddit regime).
+func (s *Suite) ExtSweep() (*Table, error) {
+	t := &Table{
+		Title:  "Extension — synthetic workload sweep (SCALE speedup vs FlowGNN)",
+		Header: []string{"avg-degree", "F=64", "F=256", "F=1024"},
+	}
+	const vertices = 20000
+	for _, deg := range []int{2, 8, 32, 128, 512} {
+		row := []string{itoa(deg)}
+		for _, feat := range []int{64, 256, 1024} {
+			p := graph.SyntheticProfile(fmt.Sprintf("sweep-d%d", deg), vertices, int64(vertices*deg), 0.6, int64(deg))
+			m := gnn.MustModel("gin", []int{feat, 64, 16}, 1)
+			scaleRes, err := s.SCALE().Run(m, p)
+			if err != nil {
+				return nil, err
+			}
+			fg, err := baseline.NewFlowGNN(s.MACs).Run(m, p)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(arch.Speedup(fg, scaleRes)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("GIN, |V|=20k, hidden 64; degree sweeps the aggregation share, F the data-movement intensity")
+	return t, nil
+}
+
+// ExtIGCN compares I-GCN — listed in Table I but absent from the Fig. 10
+// set — against AWB-GCN and SCALE on the GCN model. I-GCN's islandization is
+// computed per dataset with graph.Islandize; community-structured graphs
+// (Reddit) islandize well, citation graphs poorly.
+func (s *Suite) ExtIGCN() (*Table, error) {
+	t := &Table{
+		Title:  "Extension — I-GCN (islandization) on GCN, AWB-GCN = 1.0",
+		Header: []string{"dataset", "island-locality", "I-GCN", "SCALE"},
+	}
+	for _, ds := range s.Datasets {
+		m := s.Model("gcn", ds)
+		p := s.Profile(ds)
+		_, stats := graph.Islandize(graph.MustByName(ds).Build(), 256)
+		igcn := baseline.NewIGCN(s.MACs)
+		igcn.LocalityRate = stats.Locality
+		ir, err := igcn.Run(m, p)
+		if err != nil {
+			return nil, err
+		}
+		awb, err := s.Run(baseline.NewAWBGCN(s.MACs), "gcn", ds)
+		if err != nil {
+			return nil, err
+		}
+		scaleRes, err := s.Run(s.SCALE(), "gcn", ds)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(ds, pct(stats.Locality),
+			f2(arch.Speedup(awb, ir)),
+			f2(arch.Speedup(awb, scaleRes)))
+	}
+	t.AddNote("I-GCN benefits track island locality; SCALE needs no preprocessing or islandization pass")
+	return t, nil
+}
+
+// ExtMapping compares the two aggregation mappings §III-B.1 names: edge
+// parallelism (reduce chains distributed across rings; balance depends on
+// the schedule) and feature parallelism (feature slices across rings;
+// perfect balance, but aggregated slices must be exchanged before the
+// update traversal). Edge parallelism is SCALE's default; feature
+// parallelism pays off only when the schedule cannot balance the rings.
+func (s *Suite) ExtMapping() (*Table, error) {
+	t := &Table{
+		Title:  "Extension — aggregation mapping: feature-parallel cycles vs edge-parallel",
+		Header: []string{"dataset", "model", "edge-parallel", "feature-parallel"},
+	}
+	for _, ds := range []string{"cora", "pubmed", "nell"} {
+		for _, model := range []string{"gcn", "gin"} {
+			m := s.Model(model, ds)
+			p := s.Profile(ds)
+			edge, err := s.SCALE().Run(m, p)
+			if err != nil {
+				return nil, err
+			}
+			cfg, err := core.ConfigForMACs(s.MACs)
+			if err != nil {
+				return nil, err
+			}
+			cfg.FeatureParallel = true
+			feat, err := core.MustNew(cfg).Run(m, p)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(ds, model, "1.00", f2(float64(feat.Cycles)/float64(edge.Cycles)))
+		}
+	}
+	t.AddNote("values > 1: the exchange overhead outweighs the balance gain once Algorithm 1 already balances the rings")
+	return t, nil
+}
+
+// ExtQuant combines SCALE with DBQ-style degree-based quantization
+// (§VIII-B marks quantization orthogonal to SCALE): the lowest-degree 75 %
+// of each graph's vertices carry int8 features, shrinking the feature-byte
+// footprint the memory system moves. Reported: energy versus full precision
+// (latency shifts only where a layer was memory-bound).
+func (s *Suite) ExtQuant() (*Table, error) {
+	t := &Table{
+		Title:  "Extension — SCALE + degree-based quantization (DBQ-style, int8 for low-degree 75%)",
+		Header: []string{"dataset", "avg-bytes/elem", "cycles-ratio", "energy-ratio"},
+	}
+	eparams := energy.DefaultParams()
+	for _, ds := range s.Datasets {
+		p := s.Profile(ds)
+		m := s.Model("gcn", ds)
+		base, err := s.SCALE().Run(m, p)
+		if err != nil {
+			return nil, err
+		}
+		plan := quant.DegreeBased(p, 0.75)
+		cfg, err := core.ConfigForMACs(s.MACs)
+		if err != nil {
+			return nil, err
+		}
+		cfg.FeatureBytes = plan.AvgBytes()
+		qr, err := core.MustNew(cfg).Run(m, p)
+		if err != nil {
+			return nil, err
+		}
+		be := energy.Estimate(eparams, base.Traffic, base.Cycles)
+		qe := energy.Estimate(eparams, qr.Traffic, qr.Cycles)
+		t.AddRow(ds, f2(plan.AvgBytes()),
+			f2(float64(qr.Cycles)/float64(base.Cycles)),
+			f2(qe.Total()/be.Total()))
+	}
+	t.AddNote("weights stay float32; quantization pays in feature traffic (DRAM/GB energy) and in memory-bound stalls")
+	return t, nil
+}

@@ -1,0 +1,150 @@
+package bench
+
+import "scale/internal/arch"
+
+// Fig10 regenerates the headline speedup comparison (Fig. 10): every
+// accelerator on every dataset and model, normalized per cell to the Fig. 10
+// reference baseline (AWB-GCN for GCN, FlowGNN for message passing models).
+// The summary notes report the §VII-A averages: SCALE vs AWB-GCN and GCNAX
+// on GCN (paper: 1.62× and 2.01×), SCALE vs FlowGNN and ReGNN on the message
+// passing models (paper: 1.57× and 1.80×), and the overall mean (1.82×).
+func (s *Suite) Fig10() (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 10 — Normalized speedup (higher is better, per-cell baseline = 1.0)",
+		Header: []string{"model", "dataset", "AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "SCALE"},
+	}
+	type pair struct {
+		sum float64
+		n   int
+	}
+	avg := map[string]*pair{}
+	add := func(k string, v float64) {
+		p, ok := avg[k]
+		if !ok {
+			p = &pair{}
+			avg[k] = p
+		}
+		p.sum += v
+		p.n++
+	}
+	for _, model := range s.Models {
+		for _, ds := range s.Datasets {
+			cell, err := s.RunCell(model, ds)
+			if err != nil {
+				return nil, err
+			}
+			ref := cell[s.BaselineFor(model, ds)]
+			row := []string{model, ds}
+			for _, name := range []string{"AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "SCALE"} {
+				r, ok := cell[name]
+				if !ok {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, f2(arch.Speedup(ref, r)))
+			}
+			t.AddRow(row...)
+			scale := cell["SCALE"]
+			for name, r := range cell {
+				if name == "SCALE" {
+					continue
+				}
+				add("SCALE/"+name+"@"+model, arch.Speedup(r, scale))
+				add("SCALE/all", arch.Speedup(r, scale))
+			}
+		}
+	}
+	summary := func(k, paper string) {
+		if p, ok := avg[k]; ok && p.n > 0 {
+			t.AddNote("%s = %.2fx (paper: %s)", k, p.sum/float64(p.n), paper)
+		}
+	}
+	summary("SCALE/AWB-GCN@gcn", "1.62x")
+	summary("SCALE/GCNAX@gcn", "2.01x")
+	// Paper quotes FlowGNN/ReGNN averages over the non-GCN models.
+	var fgSum, fgN, rgSum, rgN float64
+	for _, model := range s.Models {
+		if model == "gcn" {
+			continue
+		}
+		if p, ok := avg["SCALE/FlowGNN@"+model]; ok {
+			fgSum += p.sum
+			fgN += float64(p.n)
+		}
+		if p, ok := avg["SCALE/ReGNN@"+model]; ok {
+			rgSum += p.sum
+			rgN += float64(p.n)
+		}
+	}
+	if fgN > 0 {
+		t.AddNote("SCALE/FlowGNN@non-gcn = %.2fx (paper: 1.57x)", fgSum/fgN)
+	}
+	if rgN > 0 {
+		t.AddNote("SCALE/ReGNN@non-gcn = %.2fx (paper: 1.80x)", rgSum/rgN)
+	}
+	if p, ok := avg["SCALE/all"]; ok && p.n > 0 {
+		t.AddNote("SCALE overall mean speedup = %.2fx (paper: 1.82x)", p.sum/float64(p.n))
+	}
+	return t, nil
+}
+
+// Averages extracts the summary numbers from Fig10 for tests.
+type Fig10Summary struct {
+	VsAWBGCN, VsGCNAX, VsFlowGNN, VsReGNN, Overall float64
+	RedditSCALEOverReGNN                           float64
+}
+
+// Fig10Summary computes the §VII-A average speedups directly.
+func (s *Suite) Fig10Summary() (Fig10Summary, error) {
+	var out Fig10Summary
+	var awb, gcnax, fg, rg, all struct {
+		sum float64
+		n   int
+	}
+	for _, model := range s.Models {
+		for _, ds := range s.Datasets {
+			cell, err := s.RunCell(model, ds)
+			if err != nil {
+				return out, err
+			}
+			scale := cell["SCALE"]
+			for name, r := range cell {
+				if name == "SCALE" {
+					continue
+				}
+				sp := arch.Speedup(r, scale)
+				all.sum += sp
+				all.n++
+				switch {
+				case name == "AWB-GCN":
+					awb.sum += sp
+					awb.n++
+				case name == "GCNAX":
+					gcnax.sum += sp
+					gcnax.n++
+				case name == "FlowGNN" && model != "gcn":
+					fg.sum += sp
+					fg.n++
+				case name == "ReGNN" && model != "gcn":
+					rg.sum += sp
+					rg.n++
+				}
+				if name == "ReGNN" && ds == "reddit" && model == "gcn" {
+					out.RedditSCALEOverReGNN = sp
+				}
+			}
+		}
+	}
+	div := func(s float64, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		return s / float64(n)
+	}
+	out.VsAWBGCN = div(awb.sum, awb.n)
+	out.VsGCNAX = div(gcnax.sum, gcnax.n)
+	out.VsFlowGNN = div(fg.sum, fg.n)
+	out.VsReGNN = div(rg.sum, rg.n)
+	out.Overall = div(all.sum, all.n)
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+
+	"scale/internal/arch"
+	"scale/internal/baseline"
+	"scale/internal/core"
+	"scale/internal/gnn"
+	"scale/internal/graph"
+	"scale/internal/mem"
+)
+
+// Fig12 reproduces the scalability study: speedup of every accelerator at
+// 512/1K/2K/4K MACs, normalized to AWB-GCN at 512 MACs, per dataset on the
+// GCN model (the one every architecture supports). SCALE's array geometries
+// follow §VII-B (16×16 … 64×32). Paper anchors at 4K MACs: SCALE 12.07×
+// versus 7.61 / 6.49 / 7.3 / 6.68 for AWB-GCN / GCNAX / ReGNN / FlowGNN.
+func (s *Suite) Fig12() (*Table, error) {
+	macsList := []int{512, 1024, 2048, 4096}
+	t := &Table{
+		Title:  "Fig. 12 — Scalability (speedup vs AWB-GCN @ 512 MACs)",
+		Header: []string{"dataset", "MACs", "AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "SCALE"},
+	}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, ds := range s.Datasets {
+		m := s.Model("gcn", ds)
+		p := s.Profile(ds)
+		base, err := s.scaledBase(m, p, ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, macs := range macsList {
+			row := []string{ds, itoa(macs)}
+			accels, err := s.scaledAccelerators(macs, ds)
+			if err != nil {
+				return nil, err
+			}
+			vals := map[string]float64{}
+			for _, a := range accels {
+				r, err := a.Run(m, p)
+				if err != nil {
+					return nil, err
+				}
+				vals[a.Name()] = arch.Speedup(base, r) // vs AWB-GCN @ 512 MACs
+			}
+			for _, name := range []string{"AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "SCALE"} {
+				sp := vals[name]
+				row = append(row, f2(sp))
+				if macs == 4096 {
+					sums[name] += sp
+					counts[name]++
+				}
+			}
+			t.AddRow(row...)
+		}
+	}
+	for _, name := range []string{"AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "SCALE"} {
+		if counts[name] > 0 {
+			t.AddNote("%s mean speedup @4K MACs = %.2fx", name, sums[name]/float64(counts[name]))
+		}
+	}
+	t.AddNote("paper @4K MACs: SCALE 12.07x vs AWB 7.61x, GCNAX 6.49x, ReGNN 7.3x, FlowGNN 6.68x")
+	return t, nil
+}
+
+// Fig12Summary returns the mean 4K-MAC speedups for tests.
+func (s *Suite) Fig12Summary() (map[string]float64, error) {
+	out := map[string]float64{}
+	counts := map[string]int{}
+	for _, ds := range s.Datasets {
+		m := s.Model("gcn", ds)
+		p := s.Profile(ds)
+		base, err := s.scaledBase(m, p, ds)
+		if err != nil {
+			return nil, err
+		}
+		accels, err := s.scaledAccelerators(4096, ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range accels {
+			r, err := a.Run(m, p)
+			if err != nil {
+				return nil, err
+			}
+			out[a.Name()] += arch.Speedup(base, r)
+			counts[a.Name()]++
+		}
+	}
+	for name, n := range counts {
+		out[name] /= float64(n)
+	}
+	return out, nil
+}
+
+// scaledAccelerators returns all five accelerators at a MAC budget with
+// memory bandwidth provisioned proportionally to compute (the scalability
+// study's system-scaling assumption; on-chip capacity is likewise matched,
+// per §VI "we have scaled the bandwidth and on-chip memory").
+func (s *Suite) scaledAccelerators(macs int, dataset string) ([]arch.Accelerator, error) {
+	hbm := mem.DefaultHBM()
+	hbm.BytesPerCycle *= float64(macs) / 1024
+	gb := mem.DefaultGlobalBuffer()
+	var accels []arch.Accelerator
+	for _, b := range baseline.All(macs) {
+		if b.Name() == "ReGNN" {
+			b.RedundancyRate = s.Redundancy(dataset).CapturedRate()
+		}
+		accels = append(accels, b.WithMemory(gb, hbm))
+	}
+	cfg, err := core.ConfigForMACs(macs)
+	if err != nil {
+		return nil, err
+	}
+	cfg.HBM = hbm
+	accels = append(accels, core.MustNew(cfg))
+	return accels, nil
+}
+
+// scaledBase runs the normalization reference: AWB-GCN at 512 MACs with
+// proportionally provisioned bandwidth.
+func (s *Suite) scaledBase(m *gnn.Model, p *graph.Profile, dataset string) (*arch.Result, error) {
+	accels, err := s.scaledAccelerators(512, dataset)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range accels {
+		if a.Name() == "AWB-GCN" {
+			return a.Run(m, p)
+		}
+	}
+	return nil, fmt.Errorf("bench: AWB-GCN missing from scaled accelerators")
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"scale/internal/core"
+	"scale/internal/sched"
+)
+
+// Fig13a reproduces the PE-utilization comparison: average utilization of
+// the aggregation and update engines for SCALE, FlowGNN, and AWB-GCN across
+// datasets and the models each supports, at 1K MACs. Paper anchors: SCALE
+// 98.7 % / 97.3 %, FlowGNN 62.8 % / 99.1 %, AWB-GCN 86.4 % / 88.5 %.
+func (s *Suite) Fig13a() (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 13a — Average PE utilization per phase",
+		Header: []string{"accelerator", "dataset", "aggregation", "update"},
+	}
+	type acc struct {
+		agg, upd float64
+		n        int
+	}
+	means := map[string]*acc{}
+	for _, name := range []string{"SCALE", "FlowGNN", "AWB-GCN"} {
+		for _, ds := range s.Datasets {
+			var agg, upd float64
+			n := 0
+			for _, model := range s.Models {
+				cell, err := s.RunCell(model, ds)
+				if err != nil {
+					return nil, err
+				}
+				r, ok := cell[name]
+				if !ok {
+					continue
+				}
+				agg += r.AggUtil
+				upd += r.UpdateUtil
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			t.AddRow(name, ds, pct(agg/float64(n)), pct(upd/float64(n)))
+			m, ok := means[name]
+			if !ok {
+				m = &acc{}
+				means[name] = m
+			}
+			m.agg += agg / float64(n)
+			m.upd += upd / float64(n)
+			m.n++
+		}
+	}
+	paper := map[string]string{"SCALE": "98.7%/97.3%", "FlowGNN": "62.8%/99.1%", "AWB-GCN": "86.4%/88.5%"}
+	for _, name := range []string{"SCALE", "FlowGNN", "AWB-GCN"} {
+		if m := means[name]; m != nil && m.n > 0 {
+			t.AddNote("%s mean = %s/%s (paper: %s)", name,
+				pct(m.agg/float64(m.n)), pct(m.upd/float64(m.n)), paper[name])
+		}
+	}
+	return t, nil
+}
+
+// UtilSummary is the Fig. 13 mean utilization pair.
+type UtilSummary struct{ Agg, Update float64 }
+
+// Fig13aSummary returns the mean per-accelerator utilizations for tests.
+func (s *Suite) Fig13aSummary() (map[string]UtilSummary, error) {
+	out := map[string]UtilSummary{}
+	counts := map[string]int{}
+	for _, model := range s.Models {
+		for _, ds := range s.Datasets {
+			cell, err := s.RunCell(model, ds)
+			if err != nil {
+				return nil, err
+			}
+			for name, r := range cell {
+				u := out[name]
+				u.Agg += r.AggUtil
+				u.Update += r.UpdateUtil
+				out[name] = u
+				counts[name]++
+			}
+		}
+	}
+	for name, n := range counts {
+		u := out[name]
+		u.Agg /= float64(n)
+		u.Update /= float64(n)
+		out[name] = u
+	}
+	return out, nil
+}
+
+// Fig13b reproduces the scheduling-policy ablation on SCALE: degree-aware
+// (S+DS), vertex-aware (S+VS), and degree+vertex-aware (S+DVS) scheduling.
+// Paper anchors: S+DS 99.1 %/58.7 %, S+VS 54.7 %/99.2 %, S+DVS high/high.
+func (s *Suite) Fig13b() (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 13b — Scheduling ablation on SCALE (mean utilization)",
+		Header: []string{"policy", "aggregation", "update"},
+	}
+	for _, pol := range []sched.Policy{sched.DegreeAware, sched.VertexAware, sched.DegreeVertexAware} {
+		var agg, upd float64
+		n := 0
+		for _, ds := range s.Datasets {
+			cfg, err := core.ConfigForMACs(s.MACs)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Policy = pol
+			for _, model := range []string{"gcn", "gin"} {
+				r, err := core.MustNew(cfg).Run(s.Model(model, ds), s.Profile(ds))
+				if err != nil {
+					return nil, err
+				}
+				agg += r.AggUtil
+				upd += r.UpdateUtil
+				n++
+			}
+		}
+		t.AddRow(pol.String(), pct(agg/float64(n)), pct(upd/float64(n)))
+	}
+	t.AddNote("paper: S+DS 99.1%%/58.7%%, S+VS 54.7%%/99.2%%, S+DVS balances both")
+	return t, nil
+}

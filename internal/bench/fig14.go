@@ -1,0 +1,80 @@
+package bench
+
+import "scale/internal/core"
+
+// Fig14 reproduces the ring-size sensitivity study: 2-layer GCN on Cora and
+// PubMed with the ring size forced across the sweep, reporting per-layer and
+// total cycles normalized to the best configuration. The paper's shape:
+// layer 1 prefers ring 64 (small rings refetch weights off-chip), layer 2's
+// tiny weight matrices prefer many small rings with duplicated weights.
+func (s *Suite) Fig14() (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 14 — Ring-size sensitivity (2-layer GCN, cycles normalized to sweep best)",
+		Header: []string{"dataset", "ring", "layer1", "layer2", "total"},
+	}
+	for _, ds := range []string{"cora", "pubmed"} {
+		m := s.Model("gcn", ds)
+		p := s.Profile(ds)
+		rings := []int{2, 4, 8, 16, 32, 64, 128, 256}
+		type run struct {
+			l1, l2, total int64
+		}
+		runs := make(map[int]run)
+		best := run{1 << 62, 1 << 62, 1 << 62}
+		for _, ring := range rings {
+			cfg, err := core.ConfigForMACs(s.MACs)
+			if err != nil {
+				return nil, err
+			}
+			cfg.RingSize = ring
+			r, err := core.MustNew(cfg).Run(m, p)
+			if err != nil {
+				return nil, err
+			}
+			cur := run{r.Layers[0].Cycles, r.Layers[1].Cycles, r.Cycles}
+			runs[ring] = cur
+			if cur.l1 < best.l1 {
+				best.l1 = cur.l1
+			}
+			if cur.l2 < best.l2 {
+				best.l2 = cur.l2
+			}
+			if cur.total < best.total {
+				best.total = cur.total
+			}
+		}
+		for _, ring := range rings {
+			cur := runs[ring]
+			t.AddRow(ds, itoa(ring),
+				f2(float64(cur.l1)/float64(best.l1)),
+				f2(float64(cur.l2)/float64(best.l2)),
+				f2(float64(cur.total)/float64(best.total)))
+		}
+	}
+	t.AddNote("paper: Cora layer 1 prefers ring 64; undersized rings pay off-chip weight refetch")
+	return t, nil
+}
+
+// Fig14Best returns, per dataset, the ring size with the lowest layer-1
+// cycles across the sweep (test hook for the Eq. 3 anchor).
+func (s *Suite) Fig14Best(dataset string) (int, error) {
+	m := s.Model("gcn", dataset)
+	p := s.Profile(dataset)
+	bestRing, bestCycles := 0, int64(1)<<62
+	for _, ring := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+		cfg, err := core.ConfigForMACs(s.MACs)
+		if err != nil {
+			return 0, err
+		}
+		cfg.RingSize = ring
+		r, err := core.MustNew(cfg).Run(m, p)
+		if err != nil {
+			return 0, err
+		}
+		if r.Layers[0].Cycles < bestCycles {
+			bestCycles = r.Layers[0].Cycles
+			bestRing = ring
+		}
+	}
+	return bestRing, nil
+}

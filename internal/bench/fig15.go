@@ -1,0 +1,106 @@
+package bench
+
+import "scale/internal/energy"
+
+// Fig15 reproduces the energy breakdown: per accelerator, DRAM / global
+// buffer / local buffer / compute energy accumulated over the Fig. 10
+// workload matrix, normalized to AWB-GCN's total. Paper anchors: SCALE cuts
+// DRAM energy 36.8 % and global-buffer energy 53.2 % on average while its
+// register-level reuse raises local-buffer energy ≈5.72×; overall energy
+// drops 38.9 % versus the baselines.
+func (s *Suite) Fig15() (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 15 — Energy breakdown (normalized to AWB-GCN total)",
+		Header: []string{"accelerator", "DRAM", "global-buffer", "local-buffer", "compute", "total"},
+	}
+	sums, err := s.energyTotals()
+	if err != nil {
+		return nil, err
+	}
+	ref := sums["AWB-GCN"].Total()
+	for _, name := range []string{"AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "SCALE"} {
+		b, ok := sums[name]
+		if !ok || ref == 0 {
+			continue
+		}
+		t.AddRow(name, f2(b.DRAM/ref), f2(b.GB/ref), f2(b.Local/ref), f2(b.Compute/ref), f2(b.Total()/ref))
+	}
+	scale, base := sums["SCALE"], s.baselineMeanEnergy(sums)
+	if base.DRAM > 0 {
+		t.AddNote("SCALE vs baseline mean: DRAM %s lower (paper 36.8%%), GB %s lower (paper 53.2%%), local %.2fx higher (paper 5.72x), total %s lower (paper 38.9%%)",
+			pct(1-scale.DRAM/base.DRAM), pct(1-scale.GB/base.GB), scale.Local/base.Local, pct(1-scale.Total()/base.Total()))
+	}
+	return t, nil
+}
+
+// energyTotals accumulates per-accelerator energy over the GCN cells — the
+// model every architecture supports, so totals are directly comparable (the
+// paper's Fig. 15 likewise normalizes to AWB-GCN).
+func (s *Suite) energyTotals() (map[string]energy.Breakdown, error) {
+	params := energy.DefaultParams()
+	sums := map[string]energy.Breakdown{}
+	for _, model := range []string{"gcn"} {
+		for _, ds := range s.Datasets {
+			cell, err := s.RunCell(model, ds)
+			if err != nil {
+				return nil, err
+			}
+			for name, r := range cell {
+				b := energy.Estimate(params, r.Traffic, r.Cycles)
+				acc := sums[name]
+				acc.DRAM += b.DRAM
+				acc.GB += b.GB
+				acc.Local += b.Local
+				acc.Compute += b.Compute
+				acc.Static += b.Static
+				sums[name] = acc
+			}
+		}
+	}
+	return sums, nil
+}
+
+func (s *Suite) baselineMeanEnergy(sums map[string]energy.Breakdown) energy.Breakdown {
+	var out energy.Breakdown
+	n := 0.0
+	for name, b := range sums {
+		if name == "SCALE" {
+			continue
+		}
+		out.DRAM += b.DRAM
+		out.GB += b.GB
+		out.Local += b.Local
+		out.Compute += b.Compute
+		out.Static += b.Static
+		n++
+	}
+	if n > 0 {
+		out.DRAM /= n
+		out.GB /= n
+		out.Local /= n
+		out.Compute /= n
+		out.Static /= n
+	}
+	return out
+}
+
+// Fig15Summary returns SCALE's relative DRAM/GB/local energy versus the
+// baseline mean (test hook).
+type Fig15Summary struct {
+	DRAMReduction, GBReduction, LocalRatio, TotalReduction float64
+}
+
+// Fig15Numbers computes the summary ratios.
+func (s *Suite) Fig15Numbers() (Fig15Summary, error) {
+	sums, err := s.energyTotals()
+	if err != nil {
+		return Fig15Summary{}, err
+	}
+	scale, base := sums["SCALE"], s.baselineMeanEnergy(sums)
+	return Fig15Summary{
+		DRAMReduction:  1 - scale.DRAM/base.DRAM,
+		GBReduction:    1 - scale.GB/base.GB,
+		LocalRatio:     scale.Local / base.Local,
+		TotalReduction: 1 - scale.Total()/base.Total(),
+	}, nil
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"scale/internal/core"
+	"scale/internal/energy"
+	"scale/internal/sched"
+)
+
+// Fig16a reproduces the task-scheduling overhead study: the t_ts/t_agg ratio
+// (§IV-B analytical model) across batch sizes per dataset. Ratios above 1
+// are TS-Bound; below 1, scheduling hides behind aggregation. Paper anchor:
+// batch sizes above 500 suffice for every dataset.
+func (s *Suite) Fig16a() *Table {
+	t := &Table{
+		Title:  "Fig. 16a — Task scheduling overhead ratio t_ts/t_agg",
+		Header: []string{"dataset", "B=64", "B=128", "B=256", "B=512", "B=1024", "B=2048"},
+	}
+	model := sched.DefaultPerfModel()
+	cfg := core.DefaultConfig()
+	for _, ds := range s.Datasets {
+		d := s.Profile(ds)
+		feat := s.Model("gcn", ds).InDim()
+		row := []string{ds}
+		for _, b := range []int{64, 128, 256, 512, 1024, 2048} {
+			row = append(row, f2(model.Ratio(b, d.AvgDegree(), cfg.NumPEs(), feat)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("ratio > 1 is TS-Bound; paper: all datasets TS-Negligible for B > 500")
+	return t
+}
+
+// Fig16b reproduces the area breakdown of the §VII-A SCALE configuration.
+// Paper anchors: storage 81.4 %, MACs 12.2 %, task control 6.4 %.
+func (s *Suite) Fig16b() *Table {
+	cfg := core.DefaultConfig()
+	a := energy.Area(energy.DefaultAreaParams(),
+		cfg.GB.CapacityBytes,
+		int64(cfg.NumPEs())*cfg.LocalBufBytes(),
+		cfg.TotalMACs(),
+		cfg.Rows)
+	total := a.Total()
+	t := &Table{
+		Title:  "Fig. 16b — Area breakdown (32 nm model)",
+		Header: []string{"component", "mm^2", "share"},
+	}
+	t.AddRow("global buffer", f2(a.GlobalBuffer), pct(a.GlobalBuffer/total))
+	t.AddRow("local buffers", f2(a.LocalBuffer), pct(a.LocalBuffer/total))
+	t.AddRow("MACs", f2(a.MACs), pct(a.MACs/total))
+	t.AddRow("task control", f2(a.TaskControl), pct(a.TaskControl/total))
+	t.AddRow("total", f2(total), "100.0%")
+	t.AddNote("paper: storage 81.4%%, MACs 12.2%%, task control 6.4%%; measured storage %s", pct(a.StorageShare()))
+	return t
+}

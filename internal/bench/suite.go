@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"scale/internal/arch"
+	"scale/internal/baseline"
+	"scale/internal/core"
+	"scale/internal/gnn"
+	"scale/internal/graph"
+	"scale/internal/redundancy"
+)
+
+// Suite holds the shared configuration of an evaluation run and caches the
+// expensive inputs (profiles, redundancy analyses, simulation results).
+type Suite struct {
+	// MACs is the equalized MAC budget (§VII-A: 1024).
+	MACs int
+	// Models and Datasets select the evaluation matrix.
+	Models   []string
+	Datasets []string
+
+	mu          sync.Mutex
+	profiles    map[string]*graph.Profile
+	redundancy  map[string]redundancy.Analysis
+	resultCache map[string]*arch.Result
+}
+
+// NewSuite returns the §VII-A evaluation suite: 1024 MACs, the four
+// evaluated models, the five Table II datasets.
+func NewSuite() *Suite {
+	return &Suite{
+		MACs:        1024,
+		Models:      gnn.ModelNames(),
+		Datasets:    graph.DatasetNames(),
+		profiles:    make(map[string]*graph.Profile),
+		redundancy:  make(map[string]redundancy.Analysis),
+		resultCache: make(map[string]*arch.Result),
+	}
+}
+
+// Profile returns the (cached) full-size profile of a dataset.
+func (s *Suite) Profile(dataset string) *graph.Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.profiles[dataset]; ok {
+		return p
+	}
+	p := graph.MustByName(dataset).Profile()
+	s.profiles[dataset] = p
+	return p
+}
+
+// Redundancy returns the (cached) redundancy analysis of a dataset, computed
+// on its materialized build (scaled for Nell/Reddit; the captured rate is a
+// structural property that carries to full size — DESIGN.md §1).
+func (s *Suite) Redundancy(dataset string) redundancy.Analysis {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a, ok := s.redundancy[dataset]; ok {
+		return a
+	}
+	a := redundancy.Analyze(graph.MustByName(dataset).Build())
+	s.redundancy[dataset] = a
+	return a
+}
+
+// Model builds the named model with the dataset's Table II feature chain.
+func (s *Suite) Model(model, dataset string) *gnn.Model {
+	return gnn.MustModel(model, graph.MustByName(dataset).FeatureDims, 1)
+}
+
+// SCALE returns the SCALE accelerator at the suite's MAC budget.
+func (s *Suite) SCALE() *core.SCALE {
+	cfg, err := core.ConfigForMACs(s.MACs)
+	if err != nil {
+		panic(err)
+	}
+	return core.MustNew(cfg)
+}
+
+// Accelerators returns SCALE followed by the four baselines, each configured
+// at the suite's MAC budget and primed with the dataset's redundancy rate.
+func (s *Suite) Accelerators(dataset string) []arch.Accelerator {
+	accels := []arch.Accelerator{s.SCALE()}
+	for _, b := range baseline.All(s.MACs) {
+		if b.Name() == "ReGNN" {
+			b.RedundancyRate = s.Redundancy(dataset).CapturedRate()
+		}
+		accels = append(accels, b)
+	}
+	return accels
+}
+
+// Run simulates one (accelerator, model, dataset) cell with caching.
+func (s *Suite) Run(a arch.Accelerator, model, dataset string) (*arch.Result, error) {
+	key := fmt.Sprintf("%s|%s|%s|%d", a.Name(), model, dataset, a.MACs())
+	s.mu.Lock()
+	if r, ok := s.resultCache[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	r, err := a.Run(s.Model(model, dataset), s.Profile(dataset))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.resultCache[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// RunCell returns the results of every accelerator that supports the model
+// on the dataset, SCALE first.
+func (s *Suite) RunCell(model, dataset string) (map[string]*arch.Result, error) {
+	out := make(map[string]*arch.Result)
+	m := s.Model(model, dataset)
+	for _, a := range s.Accelerators(dataset) {
+		if !a.Supports(m) {
+			continue
+		}
+		r, err := s.Run(a, model, dataset)
+		if err != nil {
+			return nil, err
+		}
+		out[a.Name()] = r
+	}
+	return out, nil
+}
+
+// Warm fills the result cache for the whole evaluation matrix using up to
+// `workers` goroutines. Every experiment that follows then reads cached
+// results; the accelerators are stateless per Run, so the fan-out is safe.
+func (s *Suite) Warm(workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	type cell struct{ model, dataset string }
+	var cells []cell
+	for _, m := range s.Models {
+		for _, d := range s.Datasets {
+			cells = append(cells, cell{m, d})
+		}
+	}
+	// Profiles and redundancy analyses first (they gate the accelerators
+	// and share the suite mutex).
+	for _, d := range s.Datasets {
+		s.Profile(d)
+		s.Redundancy(d)
+	}
+	work := make(chan cell)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				if _, err := s.RunCell(c.model, c.dataset); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for _, c := range cells {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// BaselineFor returns the reference accelerator Fig. 10 normalizes against
+// for a model: AWB-GCN for SpMM-representable models, FlowGNN otherwise.
+func (s *Suite) BaselineFor(model, dataset string) string {
+	if !s.Model(model, dataset).MessagePassing() {
+		return "AWB-GCN"
+	}
+	return "FlowGNN"
+}

@@ -1,0 +1,31 @@
+package bench
+
+// Table1 reproduces the qualitative feature matrix of Table I, derived from
+// the model specs rather than hard-coded prose where possible: message
+// passing support comes from each accelerator's Supports predicate, and the
+// remaining columns restate the paper's classification, which the quantitative
+// experiments (Fig. 10–16) substantiate.
+func (s *Suite) Table1() *Table {
+	t := &Table{
+		Title: "Table I — Accelerator comparison",
+		Header: []string{"accelerator", "message-passing", "comm-latency", "unified-dataflow",
+			"data-reuse", "balance-aggr", "balance-update"},
+	}
+	mp := func(name string) string {
+		for _, a := range s.Accelerators("cora") {
+			if a.Name() == name {
+				if a.Supports(s.Model("ggcn", "cora")) {
+					return "yes"
+				}
+				return "no"
+			}
+		}
+		return "?"
+	}
+	t.AddRow("AWB-GCN", mp("AWB-GCN"), "medium", "spmm-only", "low", "spmm-only", "spmm-only")
+	t.AddRow("GCNAX", mp("GCNAX"), "high", "spmm-only", "medium", "spmm-only", "spmm-only")
+	t.AddRow("ReGNN", mp("ReGNN")+" (no edge embed)", "medium", "no", "medium", "no", "yes")
+	t.AddRow("FlowGNN", mp("FlowGNN"), "high", "no", "low", "no", "yes")
+	t.AddRow("SCALE", mp("SCALE"), "low", "yes", "high", "yes", "yes")
+	return t
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"scale/internal/arch"
+	"scale/internal/graph"
+	"scale/internal/redundancy"
+)
+
+// Table3 reproduces the redundancy-removal study: SCALE with HAG-style
+// redundancy removal as a preprocessing pass, versus ReGNN, for GCN and
+// G-GCN on every dataset. Paper anchors: ≈2× on the citation graphs and
+// Nell, and a much smaller margin on Reddit (1.13× / 1.34×) where ReGNN's
+// own elimination already removes most of the shared aggregation work.
+func (s *Suite) Table3() (*Table, error) {
+	t := &Table{
+		Title:  "Table III — SCALE + redundancy removal vs ReGNN (speedup)",
+		Header: []string{"model", "cora", "citeseer", "pubmed", "nell", "reddit"},
+	}
+	for _, model := range []string{"gcn", "ggcn"} {
+		row := []string{model}
+		for _, ds := range s.Datasets {
+			sp, err := s.Table3Cell(model, ds)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(sp))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper row GCN: 2.15 2.31 1.98 2.07 1.13; row G-GCN: 2.22 2.36 1.92 1.85 1.34")
+	return t, nil
+}
+
+// Table3Cell computes one speedup: SCALE running on the redundancy-reduced
+// profile versus ReGNN (with the same dataset's captured rate) on the
+// original profile.
+func (s *Suite) Table3Cell(model, dataset string) (float64, error) {
+	p := s.Profile(dataset)
+	rrProfile := s.reducedProfile(dataset)
+	m := s.Model(model, dataset)
+
+	scaleRR, err := s.SCALE().Run(m, rrProfile)
+	if err != nil {
+		return 0, fmt.Errorf("bench: SCALE+RR on %s/%s: %w", model, dataset, err)
+	}
+	var regnn *arch.Result
+	for _, a := range s.Accelerators(dataset) {
+		if a.Name() == "ReGNN" {
+			regnn, err = a.Run(m, p)
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	return arch.Speedup(regnn, scaleRR), nil
+}
+
+// reducedProfile returns the dataset's profile with the captured redundancy
+// factored out. Datasets materialized at full scale (the citation graphs)
+// get the exact internal/redundancy rewrite of their built adjacency; for
+// Nell and Reddit — whose full edge lists are never materialized — the
+// captured rate measured on the scaled build is applied to the full-size
+// degree sequence.
+func (s *Suite) reducedProfile(dataset string) *graph.Profile {
+	d := graph.MustByName(dataset)
+	if d.BuildScale == 1.0 {
+		reduced, _ := redundancy.Apply(d.Build())
+		return reduced
+	}
+	p := s.Profile(dataset)
+	rate := s.Redundancy(dataset).CapturedRate()
+	degrees := make([]int32, len(p.Degrees))
+	for i, deg := range p.Degrees {
+		degrees[i] = int32(math.Round(float64(deg) * (1 - rate)))
+	}
+	return graph.NewProfile(p.Name+"+rr", degrees)
+}

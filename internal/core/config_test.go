@@ -1,0 +1,111 @@
+package core
+
+import "testing"
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPEs() != 512 || c.TotalMACs() != 1024 {
+		t.Fatalf("§VII-A config: PEs=%d MACs=%d", c.NumPEs(), c.TotalMACs())
+	}
+	if c.LocalBufBytes() != 6<<10 {
+		t.Fatalf("local buffers = %d, want 6KB", c.LocalBufBytes())
+	}
+}
+
+func TestConfigForMACs(t *testing.T) {
+	// §VII-B geometries.
+	want := map[int][2]int{512: {16, 16}, 1024: {32, 16}, 2048: {32, 32}, 4096: {64, 32}}
+	for macs, geom := range want {
+		c, err := ConfigForMACs(macs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Rows != geom[0] || c.Cols != geom[1] {
+			t.Fatalf("%d MACs: %dx%d, want %dx%d", macs, c.Rows, c.Cols, geom[0], geom[1])
+		}
+		if c.TotalMACs() != macs {
+			t.Fatalf("%d MACs: TotalMACs=%d", macs, c.TotalMACs())
+		}
+	}
+	if _, err := ConfigForMACs(768); err == nil {
+		t.Fatal("unsupported MAC count must error")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := DefaultConfig()
+	cases := []func(*Config){
+		func(c *Config) { c.Rows = 0 },
+		func(c *Config) { c.MACsPerPE = 1 },
+		func(c *Config) { c.WeightBufBytes = c.UpdateBufBytes + 1 },
+		func(c *Config) { c.RegArrayDepth = 0 },
+		func(c *Config) { c.FreqGHz = 0 },
+		func(c *Config) { c.RingSize = 1 },
+		func(c *Config) { c.RingSize = c.NumPEs() + 1 },
+	}
+	for i, mutate := range cases {
+		c := base
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// Eq. 3 anchors from §V and §VII-E.
+func TestRingSizeForEq3(t *testing.T) {
+	c := DefaultConfig()
+	// Cora layer 1: 1433×16 float32 = 91,712 B over 2 KB weight buffers
+	// ⇒ lower bound 45 ⇒ pow2 64, the Fig. 14 optimum.
+	if s := c.RingSizeFor(1433*16*4, 1433, 16); s != 64 {
+		t.Fatalf("Cora L1 ring = %d, want 64", s)
+	}
+	// Cora layer 2: a 16×7 weight matrix fits one buffer; small rings
+	// with duplicated weights are preferred (§VII-E).
+	if s := c.RingSizeFor(16*7*4, 16, 7); s < 2 || s > 8 {
+		t.Fatalf("Cora L2 ring = %d, want small", s)
+	}
+	// Nell layer 1: 61278×64 floats = 15.7 MB / 2 KB = 7660 ⇒ pow2 8192,
+	// clamped to the array size.
+	if s := c.RingSizeFor(61278*64*4, 61278, 64); s != c.NumPEs() {
+		t.Fatalf("Nell L1 ring = %d, want clamp to %d", s, c.NumPEs())
+	}
+	// Forced ring size wins.
+	c.RingSize = 16
+	if s := c.RingSizeFor(1433*16*4, 1433, 16); s != 16 {
+		t.Fatalf("forced ring = %d", s)
+	}
+}
+
+func TestRingBoundsWithinEq3Range(t *testing.T) {
+	c := DefaultConfig()
+	for _, wc := range [][2]int{{16, 7}, {500, 16}, {602, 64}, {3703, 16}, {64, 210}} {
+		rows, cols := wc[0], wc[1]
+		bytes := int64(rows) * int64(cols) * 4
+		s := c.RingSizeFor(bytes, rows, cols)
+		lower := int((bytes + c.WeightBufBytes - 1) / c.WeightBufBytes)
+		if s > c.NumPEs() {
+			t.Fatalf("%dx%d: ring %d beyond array", rows, cols, s)
+		}
+		if s < 2 {
+			t.Fatalf("%dx%d: ring %d below 2", rows, cols, s)
+		}
+		// Ring must cover the weight matrix unless clamped by the array.
+		if s < lower && s != c.NumPEs() {
+			t.Fatalf("%dx%d: ring %d below Eq.3 lower bound %d", rows, cols, s, lower)
+		}
+	}
+}
+
+func TestNumRings(t *testing.T) {
+	c := DefaultConfig()
+	if n := c.NumRings(64); n != 8 {
+		t.Fatalf("rings at S=64: %d", n)
+	}
+	if n := c.NumRings(c.NumPEs() * 2); n != 1 {
+		t.Fatalf("oversized ring: %d rings", n)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigFromJSONDefaults(t *testing.T) {
+	cfg, err := ConfigFromJSON(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != DefaultConfig() {
+		t.Fatalf("empty file should yield defaults: %+v", cfg)
+	}
+}
+
+func TestConfigFromJSONOverlay(t *testing.T) {
+	in := `{"rows": 64, "cols": 32, "ring_size": 16, "global_buffer_bytes": 8388608, "hbm_bytes_per_cycle": 512, "disable_operator_fusion": true}`
+	cfg, err := ConfigFromJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Rows != 64 || cfg.Cols != 32 || cfg.RingSize != 16 {
+		t.Fatalf("overlay wrong: %+v", cfg)
+	}
+	if cfg.GB.CapacityBytes != 8<<20 || cfg.HBM.BytesPerCycle != 512 {
+		t.Fatalf("memory overlay wrong: %+v", cfg)
+	}
+	if !cfg.DisableOperatorFusion {
+		t.Fatal("ablation flag lost")
+	}
+	// Unset fields keep defaults.
+	if cfg.MACsPerPE != 2 || cfg.FreqGHz != 1.0 {
+		t.Fatalf("defaults lost: %+v", cfg)
+	}
+}
+
+func TestConfigFromJSONRejects(t *testing.T) {
+	cases := []string{
+		`{"rows": 0}`,          // fails validation
+		`{"ring_size": 1}`,     // below minimum
+		`{"unknown_field": 3}`, // typo protection
+		`{"rows": "sixty"}`,    // wrong type
+		`not json`,             // malformed
+	}
+	for _, in := range cases {
+		if _, err := ConfigFromJSON(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q should fail", in)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"scale/internal/gnn"
+	"scale/internal/graph"
+	"scale/internal/sched"
+	"scale/internal/tensor"
+)
+
+// Forward executes model m over a materialized graph following exactly the
+// schedule and mapping the timing engine models: vertices are batched,
+// scheduled into tasks and task groups (Algorithm 1), each task's
+// aggregations run as linear reduce chains in mapping order, finalized
+// results feed the update engines, and outputs are written back.
+//
+// This is the functional half of the simulator: its outputs are compared
+// against the golden gnn.Forward reference in the test suite, which pins the
+// dataflow's correctness (chained reduction over scheduled task order is
+// equivalent to Eq. 1-2 up to float reassociation).
+func (s *SCALE) Forward(m *gnn.Model, g *graph.Graph, x *tensor.Matrix) ([]*tensor.Matrix, error) {
+	if x.Rows != g.NumVertices() {
+		return nil, fmt.Errorf("core: features have %d rows, graph has %d vertices", x.Rows, g.NumVertices())
+	}
+	if x.Cols != m.InDim() {
+		return nil, fmt.Errorf("core: features have %d cols, model wants %d", x.Cols, m.InDim())
+	}
+	degrees := g.Degrees()
+	h := x
+	var outs []*tensor.Matrix
+	for li, layer := range m.Layers {
+		out, err := s.forwardLayer(li, layer, g, degrees, h)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, out)
+		h = out
+	}
+	return outs, nil
+}
+
+func (s *SCALE) forwardLayer(li int, layer gnn.Layer, g *graph.Graph, degrees []int32, h *tensor.Matrix) (*tensor.Matrix, error) {
+	cfg := s.cfg
+	w := layer.Work()
+	ringSize := cfg.RingSizeFor(w.WeightBytes, w.InDim, w.OutDim)
+	nRings := cfg.NumRings(ringSize)
+	numPEs := nRings * ringSize
+	batch := cfg.BatchSize
+	if batch == 0 {
+		batch = 1024
+	}
+
+	psrc := layer.PrepareSources(h)
+	pdst := layer.PrepareDest(h)
+	kind := layer.Reduce()
+	width := kind.AccWidth(layer.MsgDim())
+	out := tensor.NewMatrix(h.Rows, layer.OutDim())
+	msg := make([]float32, width)
+	acc := make([]float32, width)
+
+	schedCfg := sched.Config{NumTasks: numPEs, NumGroups: nRings, Policy: cfg.Policy}
+	seen := make([]bool, g.NumVertices())
+	for _, vb := range sched.Batches(g.NumVertices(), batch) {
+		groups, err := sched.Schedule(degrees, vb, schedCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %d: %w", li, err)
+		}
+		for _, group := range groups {
+			for _, task := range group.Tasks {
+				for _, v := range task.Vertices {
+					if seen[v] {
+						return nil, fmt.Errorf("core: layer %d: vertex %d scheduled twice", li, v)
+					}
+					seen[v] = true
+					nbrs := g.InNeighbors(int(v))
+					for i := range acc {
+						acc[i] = 0
+					}
+					var pdstRow []float32
+					if pdst != nil {
+						pdstRow = pdst.Row(int(v))
+					}
+					// The reduce chain: sources stream through the
+					// ring in mapping order, accumulating hop by hop.
+					for _, u := range nbrs {
+						ctx := gnn.EdgeContext{
+							Src: int(u), Dst: int(v),
+							SrcDeg: g.InDegree(int(u)), DstDeg: len(nbrs),
+						}
+						layer.MessageInto(msg, psrc.Row(int(u)), pdstRow, ctx)
+						kind.Accumulate(acc, msg)
+					}
+					agg := kind.Finalize(acc, layer.MsgDim(), len(nbrs))
+					copy(out.Row(int(v)), layer.Update(h.Row(int(v)), agg))
+				}
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("core: layer %d: vertex %d never scheduled", li, v)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,13 @@
+package core
+
+import (
+	"math/rand"
+
+	"scale/internal/sched"
+)
+
+func randNew(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func schedPolicy(i int) sched.Policy {
+	return []sched.Policy{sched.DegreeVertexAware, sched.DegreeAware, sched.VertexAware}[i]
+}

@@ -1,0 +1,94 @@
+package micro
+
+import "fmt"
+
+// Segmentation describes how the wrap-up link switches partition the PE
+// array into rings (Fig. 9a): rings are carved out of the row-major
+// serpentine chain through the array, so a ring of size S occupies S
+// consecutive PEs and the link switches at its boundaries are opened.
+// Vertical links connect each PE to the PE above it; only the topmost row
+// talks to the global buffer, so updated features shift upward to write
+// back (Fig. 7, §III-B.2).
+type Segmentation struct {
+	Rows, Cols, RingSize int
+}
+
+// NewSegmentation validates and builds an array segmentation.
+func NewSegmentation(rows, cols, ringSize int) (Segmentation, error) {
+	if rows < 1 || cols < 1 {
+		return Segmentation{}, fmt.Errorf("micro: bad array %dx%d", rows, cols)
+	}
+	if ringSize < 1 || ringSize > rows*cols {
+		return Segmentation{}, fmt.Errorf("micro: ring size %d outside [1, %d]", ringSize, rows*cols)
+	}
+	return Segmentation{Rows: rows, Cols: cols, RingSize: ringSize}, nil
+}
+
+// NumPEs returns the array size.
+func (s Segmentation) NumPEs() int { return s.Rows * s.Cols }
+
+// NumRings returns how many complete rings the segmentation yields; a
+// remainder shorter than RingSize is left unused (idle PEs).
+func (s Segmentation) NumRings() int { return s.NumPEs() / s.RingSize }
+
+// IdlePEs returns the PEs not covered by any complete ring.
+func (s Segmentation) IdlePEs() int { return s.NumPEs() - s.NumRings()*s.RingSize }
+
+// chainIndex maps array coordinates to the serpentine chain position: even
+// rows run left→right, odd rows right→left, so consecutive chain positions
+// are always physically adjacent.
+func (s Segmentation) chainIndex(row, col int) int {
+	if row%2 == 0 {
+		return row*s.Cols + col
+	}
+	return row*s.Cols + (s.Cols - 1 - col)
+}
+
+// RingOf returns the ring id of the PE at (row, col), or −1 for idle PEs.
+func (s Segmentation) RingOf(row, col int) int {
+	if row < 0 || row >= s.Rows || col < 0 || col >= s.Cols {
+		return -1
+	}
+	idx := s.chainIndex(row, col)
+	ring := idx / s.RingSize
+	if ring >= s.NumRings() {
+		return -1
+	}
+	return ring
+}
+
+// OpenSwitches returns how many wrap-up link switches must be opened to cut
+// the serpentine chain into the configured rings — the Fig. 9a toggles the
+// task controller flips between layers.
+func (s Segmentation) OpenSwitches() int {
+	if s.RingSize >= s.NumPEs() {
+		return 0
+	}
+	return s.NumRings() - 1 + boolToInt(s.IdlePEs() > 0)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// WritebackCycles returns the cycles for every PE to push outputsPerPE
+// updated values to the global buffer through the vertical links: each
+// column is a shift chain with 1 value/cycle of top-row bandwidth, so a
+// column drains Rows·outputsPerPE values serially after a Rows−1 fill.
+func (s Segmentation) WritebackCycles(outputsPerPE int) int64 {
+	if outputsPerPE <= 0 {
+		return 0
+	}
+	return int64(s.Rows)*int64(outputsPerPE) + int64(s.Rows-1)
+}
+
+// WritebackOverlapped reports whether write-back stays hidden behind a
+// compute phase of the given duration (the §III-B.2 scalability argument:
+// not every PE needs a buffer port because the vertical chains drain during
+// the next batch's compute).
+func (s Segmentation) WritebackOverlapped(computeCycles int64, outputsPerPE int) bool {
+	return s.WritebackCycles(outputsPerPE) <= computeCycles
+}

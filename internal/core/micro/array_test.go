@@ -1,0 +1,115 @@
+package micro
+
+import "testing"
+
+func TestSegmentationValidation(t *testing.T) {
+	if _, err := NewSegmentation(0, 4, 2); err == nil {
+		t.Fatal("zero rows must error")
+	}
+	if _, err := NewSegmentation(4, 4, 17); err == nil {
+		t.Fatal("oversized ring must error")
+	}
+	if _, err := NewSegmentation(4, 4, 0); err == nil {
+		t.Fatal("zero ring must error")
+	}
+}
+
+func TestRingPartition(t *testing.T) {
+	s, err := NewSegmentation(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRings() != 4 || s.IdlePEs() != 0 {
+		t.Fatalf("rings=%d idle=%d", s.NumRings(), s.IdlePEs())
+	}
+	// Every PE belongs to exactly one ring, and ring sizes are exact.
+	counts := map[int]int{}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			id := s.RingOf(r, c)
+			if id < 0 {
+				t.Fatalf("PE (%d,%d) unassigned", r, c)
+			}
+			counts[id]++
+		}
+	}
+	for id, n := range counts {
+		if n != 4 {
+			t.Fatalf("ring %d has %d PEs", id, n)
+		}
+	}
+	if s.RingOf(-1, 0) != -1 || s.RingOf(0, 9) != -1 {
+		t.Fatal("out-of-range PEs must be unassigned")
+	}
+}
+
+// A ring of the full serpentine chain uses no open switches; halving rings
+// opens one switch per boundary (Fig. 9a).
+func TestOpenSwitches(t *testing.T) {
+	full, _ := NewSegmentation(2, 8, 16)
+	if full.OpenSwitches() != 0 {
+		t.Fatalf("full chain: %d switches", full.OpenSwitches())
+	}
+	half, _ := NewSegmentation(2, 8, 8)
+	if half.OpenSwitches() != 1 {
+		t.Fatalf("two rings: %d switches", half.OpenSwitches())
+	}
+	quarters, _ := NewSegmentation(2, 8, 4)
+	if quarters.OpenSwitches() != 3 {
+		t.Fatalf("four rings: %d switches", quarters.OpenSwitches())
+	}
+}
+
+func TestIdleRemainder(t *testing.T) {
+	s, _ := NewSegmentation(3, 3, 4) // 9 PEs, rings of 4 → 2 rings + 1 idle
+	if s.NumRings() != 2 || s.IdlePEs() != 1 {
+		t.Fatalf("rings=%d idle=%d", s.NumRings(), s.IdlePEs())
+	}
+	// The last chain PE is the idle one: row 2 is even (left→right), so
+	// the chain tail (index 8) sits at column 2.
+	if s.RingOf(2, 2) != -1 {
+		t.Fatalf("expected idle PE at chain tail, got ring %d", s.RingOf(2, 2))
+	}
+}
+
+// Serpentine adjacency: consecutive chain positions must be physically
+// adjacent so ring hops stay single-hop wires.
+func TestSerpentineAdjacency(t *testing.T) {
+	s, _ := NewSegmentation(4, 4, 16)
+	pos := make(map[int][2]int)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			pos[s.chainIndex(r, c)] = [2]int{r, c}
+		}
+	}
+	for i := 1; i < 16; i++ {
+		a, b := pos[i-1], pos[i]
+		dr, dc := a[0]-b[0], a[1]-b[1]
+		if dr < 0 {
+			dr = -dr
+		}
+		if dc < 0 {
+			dc = -dc
+		}
+		if dr+dc != 1 {
+			t.Fatalf("chain %d→%d not adjacent: %v %v", i-1, i, a, b)
+		}
+	}
+}
+
+func TestWritebackCycles(t *testing.T) {
+	s, _ := NewSegmentation(4, 8, 8)
+	// 4 rows × 3 outputs per PE = 12 per column + 3 fill.
+	if got := s.WritebackCycles(3); got != 15 {
+		t.Fatalf("WritebackCycles = %d, want 15", got)
+	}
+	if s.WritebackCycles(0) != 0 {
+		t.Fatal("no outputs should be free")
+	}
+	if !s.WritebackOverlapped(100, 3) {
+		t.Fatal("15 cycles must hide behind 100")
+	}
+	if s.WritebackOverlapped(10, 3) {
+		t.Fatal("15 cycles cannot hide behind 10")
+	}
+}

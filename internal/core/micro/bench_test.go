@@ -1,0 +1,42 @@
+package micro
+
+import (
+	"math/rand"
+	"testing"
+
+	"scale/internal/tensor"
+)
+
+func BenchmarkAggregationRing8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewRing(8)
+	var tasks []Task
+	for i := 0; i < 32; i++ {
+		srcs := make([][]float32, 4)
+		for j := range srcs {
+			srcs[j] = tensor.RandomVector(rng, 16, 1)
+		}
+		tasks = append(tasks, Task{Dst: i, Sources: srcs})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.SimulateAggregation(tasks, Sum); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateRing8(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	r := NewRing(8)
+	w := tensor.RandomMatrix(rng, 32, 16, 1)
+	features := make([][]float32, 64)
+	for i := range features {
+		features[i] = tensor.RandomVector(rng, 32, 1)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := r.SimulateUpdate(features, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

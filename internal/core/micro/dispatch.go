@@ -1,0 +1,71 @@
+package micro
+
+import "fmt"
+
+// This file models the front end of the PE ring: the task dispatcher's
+// circular shift register (Fig. 5), which reorders fetched vertex features
+// so each task's stream aligns with its starting PE, and the double-buffered
+// shift-register array (Fig. 6), which overlaps feature distribution with
+// aggregation and imposes the "register array depth ≥ ring size" rule the
+// paper states for full utilization.
+
+// Dispatch reorders a ring's task streams into per-PE queues. Task t starts
+// at PE t mod ring (the same round-robin mapping SimulateAggregation uses);
+// its i-th source is consumed at PE (t + i) mod ring, so the dispatcher
+// rotates each fetched feature group by the task's index — the barrel
+// shifter of Fig. 5. The returned queues hold, per PE, the values in the
+// order the register array must supply them.
+func Dispatch(ring int, tasks [][]float32) ([][]float32, error) {
+	if ring < 1 {
+		return nil, fmt.Errorf("micro: ring size %d", ring)
+	}
+	queues := make([][]float32, ring)
+	for t, stream := range tasks {
+		start := t % ring
+		for i, v := range stream {
+			pe := (start + i) % ring
+			queues[pe] = append(queues[pe], v)
+		}
+	}
+	return queues, nil
+}
+
+// ShiftRegisterArray models one ring's double-buffered register arrays: two
+// Depth-deep buffers per PE, filled one column per cycle through the
+// horizontal mesh (a column reaches the last PE after PEs−1 propagation
+// hops) while the other buffer feeds the MACs one value per PE per cycle.
+type ShiftRegisterArray struct {
+	PEs   int
+	Depth int
+}
+
+// StreamCycles returns the cycles to supply valuesPerPE operands to every
+// PE, and how many of those cycles the MACs stall. After the initial fill
+// (Depth columns + propagation), buffers swap every Depth values; §III-B's
+// sizing rule appears here: a buffer shallower than the ring cannot finish
+// preloading before the active buffer drains, stalling PEs−Depth cycles per
+// swap.
+func (a ShiftRegisterArray) StreamCycles(valuesPerPE int) (total, stalls int64) {
+	if a.PEs < 1 || a.Depth < 1 || valuesPerPE <= 0 {
+		return 0, 0
+	}
+	fill := int64(a.Depth + a.PEs - 1)
+	swaps := int64((valuesPerPE+a.Depth-1)/a.Depth) - 1
+	perSwap := int64(a.PEs - a.Depth)
+	if perSwap < 0 {
+		perSwap = 0
+	}
+	stalls = swaps * perSwap
+	total = fill + int64(valuesPerPE) + stalls
+	return total, stalls
+}
+
+// Utilization returns the MAC supply efficiency of the array for a stream
+// of valuesPerPE operands: consumed cycles over total cycles.
+func (a ShiftRegisterArray) Utilization(valuesPerPE int) float64 {
+	total, _ := a.StreamCycles(valuesPerPE)
+	if total == 0 {
+		return 1
+	}
+	return float64(valuesPerPE) / float64(total)
+}

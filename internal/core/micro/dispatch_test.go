@@ -1,0 +1,97 @@
+package micro
+
+import "testing"
+
+// The Fig. 5 walkthrough: two tasks on a 1×2 ring. Task 0 (a's sources)
+// starts at PE0; task 1 (c's sources) is rotated by 1 so it starts at PE1.
+func TestDispatchFig5(t *testing.T) {
+	queues, err := Dispatch(2, [][]float32{
+		{10, 11, 12}, // task a: a0 a1 a2
+		{20, 21, 22}, // task c: c0 c1 c2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PE0 gets a0 (pos0), a2 (pos2 wraps), c1 (task1 pos1 → PE0).
+	want0 := []float32{10, 12, 21}
+	want1 := []float32{11, 20, 22}
+	if len(queues[0]) != 3 || len(queues[1]) != 3 {
+		t.Fatalf("queue lengths: %d %d", len(queues[0]), len(queues[1]))
+	}
+	for i := range want0 {
+		if queues[0][i] != want0[i] {
+			t.Fatalf("PE0 queue = %v, want %v", queues[0], want0)
+		}
+		if queues[1][i] != want1[i] {
+			t.Fatalf("PE1 queue = %v, want %v", queues[1], want1)
+		}
+	}
+}
+
+// Dispatch must distribute exactly the multiset of inputs, balanced within
+// one value across PEs when the streams have equal length.
+func TestDispatchConservation(t *testing.T) {
+	tasks := [][]float32{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}}
+	queues, err := Dispatch(4, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, q := range queues {
+		total += len(q)
+	}
+	if total != 12 {
+		t.Fatalf("dispatched %d values, want 12", total)
+	}
+}
+
+func TestDispatchBadRing(t *testing.T) {
+	if _, err := Dispatch(0, nil); err == nil {
+		t.Fatal("zero ring must error")
+	}
+}
+
+// §III-B sizing rule: an array at least as deep as the ring sustains full
+// MAC supply after the initial fill; shallower arrays stall on every swap.
+func TestShiftRegisterSizingRule(t *testing.T) {
+	deep := ShiftRegisterArray{PEs: 8, Depth: 8}
+	_, stalls := deep.StreamCycles(1000)
+	if stalls != 0 {
+		t.Fatalf("depth==ring must not stall, got %d", stalls)
+	}
+	deeper := ShiftRegisterArray{PEs: 8, Depth: 16}
+	if _, s := deeper.StreamCycles(1000); s != 0 {
+		t.Fatalf("depth>ring must not stall, got %d", s)
+	}
+	shallow := ShiftRegisterArray{PEs: 8, Depth: 4}
+	_, stalls = shallow.StreamCycles(1000)
+	if stalls == 0 {
+		t.Fatal("depth<ring must stall on buffer swaps")
+	}
+	if shallow.Utilization(1000) >= deep.Utilization(1000) {
+		t.Fatal("shallow array must lose utilization")
+	}
+}
+
+func TestShiftRegisterStreamAccounting(t *testing.T) {
+	a := ShiftRegisterArray{PEs: 4, Depth: 4}
+	total, stalls := a.StreamCycles(16)
+	// fill = 4+3 = 7, no stalls, 16 values → 23 cycles.
+	if total != 23 || stalls != 0 {
+		t.Fatalf("StreamCycles = %d/%d, want 23/0", total, stalls)
+	}
+	if tot, _ := a.StreamCycles(0); tot != 0 {
+		t.Fatal("zero stream must be free")
+	}
+	if u := a.Utilization(0); u != 1 {
+		t.Fatalf("degenerate utilization = %v", u)
+	}
+}
+
+// Long streams amortize the fill: utilization approaches 1 for deep arrays.
+func TestShiftRegisterAsymptote(t *testing.T) {
+	a := ShiftRegisterArray{PEs: 16, Depth: 16}
+	if u := a.Utilization(100000); u < 0.99 {
+		t.Fatalf("asymptotic utilization %.3f", u)
+	}
+}

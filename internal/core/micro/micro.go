@@ -1,0 +1,268 @@
+// Package micro is the register-level cycle simulator of one SCALE PE ring.
+// It models exactly the mechanics of §III-B: reduce chains that shift
+// partial aggregates forward hop by hop (Fig. 4), feature elements streaming
+// out of the double-buffered shift-register arrays (Fig. 6), and the
+// backward weight-stationary update traversal (Fig. 7).
+//
+// The task-level engine in internal/core uses closed-form per-task cycle
+// laws; this package exists to validate those laws (tests assert agreement)
+// and to reproduce the paper's walkthrough examples exactly.
+package micro
+
+import (
+	"fmt"
+
+	"scale/internal/tensor"
+)
+
+// Task is one reduce operation: a destination vertex aggregating feature
+// vectors from its sources. Sources[i][f] is feature element f of source i.
+type Task struct {
+	Dst     int
+	Sources [][]float32
+}
+
+// Degree returns the number of sources (chain length).
+func (t Task) Degree() int { return len(t.Sources) }
+
+// Combine is the reduce operator applied along the chain. It must be
+// commutative and associative (§III-B: permutation invariance).
+type Combine func(a, b float32) float32
+
+// Sum is the additive reduce used by GCN/GIN/G-GCN.
+func Sum(a, b float32) float32 { return a + b }
+
+// Max is the elementwise-max reduce used by GraphSAGE-Pool.
+func Max(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Ring is one segmented PE ring.
+type Ring struct {
+	// S is the ring size (number of PEs).
+	S int
+	// RegDepth is the shift-register array depth per PE; the dispatcher
+	// preloads RegDepth elements per PE per wave while the other buffer
+	// drains (double buffering, Fig. 6).
+	RegDepth int
+}
+
+// NewRing returns a ring of s PEs with the default register depth.
+func NewRing(s int) *Ring {
+	return &Ring{S: s, RegDepth: 16}
+}
+
+// AggResult reports a cycle-accurate aggregation simulation.
+type AggResult struct {
+	// Aggregated[i] is task i's reduced feature vector.
+	Aggregated [][]float32
+	// FinishPE[i] is the PE whose update engine receives task i's result.
+	FinishPE []int
+	// FinishCycle[i] is the cycle the final element of task i completes.
+	FinishCycle []int64
+	// Makespan is the cycle the last task completes.
+	Makespan int64
+	// ActiveCycles[p] counts cycles PE p's aggregation MAC was busy.
+	ActiveCycles []int64
+}
+
+// Utilization returns mean busy fraction across PEs over the makespan.
+func (r AggResult) Utilization() float64 {
+	if r.Makespan == 0 || len(r.ActiveCycles) == 0 {
+		return 1
+	}
+	var sum int64
+	for _, a := range r.ActiveCycles {
+		sum += a
+	}
+	return float64(sum) / (float64(r.Makespan) * float64(len(r.ActiveCycles)))
+}
+
+// SimulateAggregation runs the reduce chains of all tasks through the ring.
+//
+// Chain mechanics (Fig. 4): task t starts at a PE chosen round-robin; its
+// source i is consumed at PE (start + i) mod S. Feature elements pipeline
+// one per cycle behind each other, so element f of chain position i is
+// processed at cycle begin(t) + f + i. A PE processes one element per cycle
+// (one aggregation MAC); the dispatcher delays a task's begin cycle until
+// its whole chain is conflict-free — the register arrays buffer the operands
+// (this is the double-buffered overlap of Fig. 6, here modeled as perfect
+// prefetch with per-wave preload latency folded into the conflict search).
+func (r *Ring) SimulateAggregation(tasks []Task, combine Combine) (AggResult, error) {
+	if r.S < 1 {
+		return AggResult{}, fmt.Errorf("micro: ring size %d", r.S)
+	}
+	res := AggResult{
+		Aggregated:   make([][]float32, len(tasks)),
+		FinishPE:     make([]int, len(tasks)),
+		FinishCycle:  make([]int64, len(tasks)),
+		ActiveCycles: make([]int64, r.S),
+	}
+	busy := make([]map[int64]bool, r.S)
+	for p := range busy {
+		busy[p] = make(map[int64]bool)
+	}
+	mark := func(pe int, cycle int64) error {
+		if busy[pe][cycle] {
+			return fmt.Errorf("micro: internal scheduling conflict at PE %d cycle %d", pe, cycle)
+		}
+		busy[pe][cycle] = true
+		res.ActiveCycles[pe]++
+		return nil
+	}
+	for ti, t := range tasks {
+		deg := t.Degree()
+		if deg == 0 {
+			res.Aggregated[ti] = nil
+			res.FinishPE[ti] = ti % r.S
+			continue
+		}
+		f := len(t.Sources[0])
+		for _, src := range t.Sources {
+			if len(src) != f {
+				return AggResult{}, fmt.Errorf("micro: task %d has ragged sources", ti)
+			}
+		}
+		start := ti % r.S
+		// A chain longer than the ring wraps around it in segments of at
+		// most S hops (§III-B: "large workloads wrap around the PE ring
+		// multiple times"). Within a segment every hop is a distinct PE,
+		// so the element pipeline is self-conflict-free; each wrap is a
+		// dependent segment whose first element needs the previous
+		// segment's partial result.
+		agg := make([]float32, f)
+		var prevBegin int64
+		var prevLen int
+		var lastBegin int64
+		var lastLen int
+		for segStart := 0; segStart < deg; segStart += r.S {
+			segLen := deg - segStart
+			if segLen > r.S {
+				segLen = r.S
+			}
+			minBegin := int64(0)
+			if segStart > 0 {
+				minBegin = prevBegin + int64(prevLen)
+			}
+			begin := minBegin
+		search:
+			for {
+				for e := 0; e < f; e++ {
+					for i := 0; i < segLen; i++ {
+						pe := (start + i) % r.S
+						if busy[pe][begin+int64(e+i)] {
+							begin++
+							continue search
+						}
+					}
+				}
+				break
+			}
+			for e := 0; e < f; e++ {
+				for i := 0; i < segLen; i++ {
+					pe := (start + i) % r.S
+					if err := mark(pe, begin+int64(e+i)); err != nil {
+						return AggResult{}, err
+					}
+					src := t.Sources[segStart+i][e]
+					if segStart+i == 0 {
+						agg[e] = src
+					} else {
+						agg[e] = combine(agg[e], src)
+					}
+				}
+			}
+			prevBegin, prevLen = begin, segLen
+			lastBegin, lastLen = begin, segLen
+		}
+		res.Aggregated[ti] = agg
+		res.FinishPE[ti] = (start + (deg-1)%r.S) % r.S
+		res.FinishCycle[ti] = lastBegin + int64(f-1+lastLen-1)
+		if res.FinishCycle[ti]+1 > res.Makespan {
+			res.Makespan = res.FinishCycle[ti] + 1
+		}
+	}
+	return res, nil
+}
+
+// UpdResult reports a cycle-accurate update simulation.
+type UpdResult struct {
+	// Outputs[v] is the updated feature vector of vertex v.
+	Outputs [][]float32
+	// Makespan is the cycle the last output element is produced.
+	Makespan int64
+	// ActiveCycles[p] counts cycles PE p's update MAC was busy.
+	ActiveCycles []int64
+}
+
+// Utilization returns mean busy fraction across PEs over the makespan.
+func (r UpdResult) Utilization() float64 {
+	if r.Makespan == 0 || len(r.ActiveCycles) == 0 {
+		return 1
+	}
+	var sum int64
+	for _, a := range r.ActiveCycles {
+		sum += a
+	}
+	return float64(sum) / (float64(r.Makespan) * float64(len(r.ActiveCycles)))
+}
+
+// SimulateUpdate runs the weight-stationary backward pass of Fig. 7: the
+// weight matrix W (F×O) is partitioned by columns round-robin across the S
+// PEs; each aggregated feature vector circulates backward through the ring,
+// spending F cycles per held column at each PE to form one dot product, and
+// writes its outputs back through the vertical links. A vertex therefore
+// traverses S−1 hops and the ring sustains one vertex per F·maxCols cycles.
+func (r *Ring) SimulateUpdate(features [][]float32, w *tensor.Matrix) (UpdResult, error) {
+	if r.S < 1 {
+		return UpdResult{}, fmt.Errorf("micro: ring size %d", r.S)
+	}
+	res := UpdResult{
+		Outputs:      make([][]float32, len(features)),
+		ActiveCycles: make([]int64, r.S),
+	}
+	// Column partition: PE p holds columns p, p+S, p+2S, …
+	cols := make([][]int, r.S)
+	maxCols := 0
+	for c := 0; c < w.Cols; c++ {
+		p := c % r.S
+		cols[p] = append(cols[p], c)
+		if len(cols[p]) > maxCols {
+			maxCols = len(cols[p])
+		}
+	}
+	if maxCols == 0 {
+		return res, nil
+	}
+	f := w.Rows
+	service := int64(f * maxCols) // cycles a vertex occupies one PE
+	for vi, feat := range features {
+		if len(feat) != f {
+			return UpdResult{}, fmt.Errorf("micro: feature %d has %d elements, want %d", vi, len(feat), f)
+		}
+		out := make([]float32, w.Cols)
+		issue := int64(vi) * service
+		for hop := 0; hop < r.S; hop++ {
+			pe := hop % r.S
+			var busyCycles int64
+			for _, c := range cols[pe] {
+				var acc float32
+				for e := 0; e < f; e++ {
+					acc += feat[e] * w.At(e, c)
+				}
+				out[c] = acc
+				busyCycles += int64(f)
+			}
+			res.ActiveCycles[pe] += busyCycles
+			finish := issue + int64(hop)*service + busyCycles + int64(hop) // hop latency
+			if finish > res.Makespan {
+				res.Makespan = finish
+			}
+		}
+		res.Outputs[vi] = out
+	}
+	return res, nil
+}

@@ -1,0 +1,249 @@
+package micro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scale/internal/tensor"
+)
+
+// The Fig. 4 walkthrough: reduce chains on a 1×2 PE ring. Task a has sources
+// at PE0 then PE1; the accumulated result lands at the chain-end PE's update
+// engine, one hop per cycle.
+func TestFig4Walkthrough(t *testing.T) {
+	r := NewRing(2)
+	tasks := []Task{
+		{Dst: 0, Sources: [][]float32{{1}, {2}}},   // a: a0 at PE0, a1 at PE1
+		{Dst: 1, Sources: [][]float32{{10}, {20}}}, // c: starts at PE1, wraps
+	}
+	res, err := r.SimulateAggregation(tasks, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregated[0][0] != 3 || res.Aggregated[1][0] != 30 {
+		t.Fatalf("sums wrong: %v", res.Aggregated)
+	}
+	// Task a finishes at PE1 (chain 0→1), task c wraps back to PE0.
+	if res.FinishPE[0] != 1 || res.FinishPE[1] != 0 {
+		t.Fatalf("finish PEs: %v", res.FinishPE)
+	}
+	// Both 2-hop chains of one element each pipeline with no conflicts:
+	// they use disjoint (PE, cycle) slots and finish by cycle 2.
+	if res.Makespan > 3 {
+		t.Fatalf("makespan %d, want ≤3", res.Makespan)
+	}
+}
+
+// Fig. 4(b): a subgraph with more reduce chains than PEs wraps around the
+// ring and still produces correct sums.
+func TestWrapAroundChains(t *testing.T) {
+	r := NewRing(2)
+	tasks := make([]Task, 4)
+	for i := range tasks {
+		tasks[i] = Task{Dst: i, Sources: [][]float32{
+			{float32(i + 1)}, {float32(i + 2)}, {float32(i + 3)}, {float32(i + 4)},
+		}}
+	}
+	res, err := r.SimulateAggregation(tasks, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tasks {
+		want := float32(4*i + 10)
+		if res.Aggregated[i][0] != want {
+			t.Fatalf("task %d sum = %v, want %v", i, res.Aggregated[i][0], want)
+		}
+	}
+}
+
+func TestAggregationMatchesDirectSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := rng.Intn(7) + 1
+		r := NewRing(s)
+		n := rng.Intn(6) + 1
+		feat := rng.Intn(5) + 1
+		tasks := make([]Task, n)
+		for i := range tasks {
+			deg := rng.Intn(8) + 1
+			srcs := make([][]float32, deg)
+			for j := range srcs {
+				srcs[j] = tensor.RandomVector(rng, feat, 1)
+			}
+			tasks[i] = Task{Dst: i, Sources: srcs}
+		}
+		res, err := r.SimulateAggregation(tasks, Sum)
+		if err != nil {
+			return false
+		}
+		for i, task := range tasks {
+			want := make([]float32, feat)
+			for _, src := range task.Sources {
+				for e, v := range src {
+					want[e] += v
+				}
+			}
+			for e := range want {
+				if math.Abs(float64(want[e]-res.Aggregated[i][e])) > 1e-4 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxReduce(t *testing.T) {
+	r := NewRing(3)
+	tasks := []Task{{Dst: 0, Sources: [][]float32{{1, -5}, {3, -2}, {2, -9}}}}
+	res, err := r.SimulateAggregation(tasks, Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregated[0][0] != 3 || res.Aggregated[0][1] != -2 {
+		t.Fatalf("max reduce: %v", res.Aggregated[0])
+	}
+}
+
+func TestZeroDegreeTask(t *testing.T) {
+	r := NewRing(2)
+	res, err := r.SimulateAggregation([]Task{{Dst: 0}}, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregated[0] != nil || res.Makespan != 0 {
+		t.Fatalf("empty task should be free: %+v", res)
+	}
+}
+
+func TestRaggedSourcesRejected(t *testing.T) {
+	r := NewRing(2)
+	_, err := r.SimulateAggregation([]Task{{Dst: 0, Sources: [][]float32{{1, 2}, {3}}}}, Sum)
+	if err == nil {
+		t.Fatal("ragged sources must error")
+	}
+}
+
+// The closed-form law the task-level engine uses: makespan ≈ totalOps/S plus
+// pipeline fill. The cycle-accurate simulation must stay within a modest
+// factor of the law for saturated rings.
+func TestMakespanMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, s := range []int{2, 4, 8} {
+		r := NewRing(s)
+		feat := 32
+		var tasks []Task
+		var totalOps int64
+		for i := 0; i < 4*s; i++ {
+			deg := rng.Intn(6) + 2
+			srcs := make([][]float32, deg)
+			for j := range srcs {
+				srcs[j] = tensor.RandomVector(rng, feat, 1)
+			}
+			tasks = append(tasks, Task{Dst: i, Sources: srcs})
+			totalOps += int64(deg * feat)
+		}
+		res, err := r.SimulateAggregation(tasks, Sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		law := totalOps/int64(s) + int64(feat) + int64(s)
+		ratio := float64(res.Makespan) / float64(law)
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Fatalf("S=%d: micro makespan %d vs law %d (ratio %.2f)", s, res.Makespan, law, ratio)
+		}
+		if u := res.Utilization(); u < 0.3 || u > 1.0 {
+			t.Fatalf("S=%d: utilization %.2f implausible", s, u)
+		}
+	}
+}
+
+func TestUpdateMatchesVecMat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, s := range []int{1, 2, 4} {
+		r := NewRing(s)
+		w := tensor.RandomMatrix(rng, 6, 5, 1)
+		features := [][]float32{
+			tensor.RandomVector(rng, 6, 1),
+			tensor.RandomVector(rng, 6, 1),
+			tensor.RandomVector(rng, 6, 1),
+		}
+		res, err := r.SimulateUpdate(features, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, feat := range features {
+			want := tensor.VecMat(feat, w)
+			for j := range want {
+				if math.Abs(float64(want[j]-res.Outputs[i][j])) > 1e-4 {
+					t.Fatalf("S=%d vertex %d col %d: %v vs %v", s, i, j, res.Outputs[i][j], want[j])
+				}
+			}
+		}
+		if res.Makespan <= 0 {
+			t.Fatal("no cycles")
+		}
+	}
+}
+
+// Fig. 7 timing shape: one vertex per F·maxCols cycles of throughput plus
+// the S−1 hop traversal, and idle update engines when S exceeds the number
+// of weight columns (§VII-E's under-utilization regime).
+func TestUpdateThroughputAndIdleEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	w := tensor.RandomMatrix(rng, 4, 4, 1) // F=4, O=4
+	features := make([][]float32, 16)
+	for i := range features {
+		features[i] = tensor.RandomVector(rng, 4, 1)
+	}
+	r := NewRing(4) // one column per PE: service = 4 cycles
+	res, err := r.SimulateUpdate(features, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	law := int64(16*4) + int64(4*4) + 4 // V·service + fill + hops
+	if res.Makespan > 2*law {
+		t.Fatalf("makespan %d far above law %d", res.Makespan, law)
+	}
+	// Oversized ring: 8 PEs for 4 columns leaves 4 engines idle.
+	big := NewRing(8)
+	resBig, err := big.SimulateUpdate(features, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := 0
+	for _, a := range resBig.ActiveCycles {
+		if a == 0 {
+			idle++
+		}
+	}
+	if idle != 4 {
+		t.Fatalf("idle engines = %d, want 4", idle)
+	}
+	if resBig.Utilization() >= res.Utilization() {
+		t.Fatalf("oversized ring should lose utilization: %.2f vs %.2f", resBig.Utilization(), res.Utilization())
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	r := NewRing(2)
+	w := tensor.NewMatrix(3, 2)
+	if _, err := r.SimulateUpdate([][]float32{{1, 2}}, w); err == nil {
+		t.Fatal("feature length mismatch must error")
+	}
+	empty, err := r.SimulateUpdate(nil, w)
+	if err != nil || empty.Makespan != 0 {
+		t.Fatalf("empty update: %v %+v", err, empty)
+	}
+	if _, err := (&Ring{S: 0}).SimulateUpdate(nil, w); err == nil {
+		t.Fatal("zero ring must error")
+	}
+	if _, err := (&Ring{S: 0}).SimulateAggregation(nil, Sum); err == nil {
+		t.Fatal("zero ring must error")
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"testing"
+
+	"scale/internal/gnn"
+	"scale/internal/graph"
+	"scale/internal/sched"
+)
+
+func smallProfile() *graph.Profile {
+	return graph.SyntheticProfile("small", 2000, 8000, 0.6, 7)
+}
+
+func TestNewValidates(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Rows = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("invalid config must error")
+	}
+	if s := MustNew(DefaultConfig()); s.Name() != "SCALE" || s.MACs() != 1024 {
+		t.Fatalf("identity wrong: %s %d", s.Name(), s.MACs())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bad := DefaultConfig()
+	bad.FreqGHz = 0
+	MustNew(bad)
+}
+
+func TestRunShape(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	m := gnn.MustModel("gcn", []int{64, 16, 4}, 1)
+	p := smallProfile()
+	res, err := s.Run(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != 2 {
+		t.Fatalf("layers: %d", len(res.Layers))
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles accrued")
+	}
+	var sum int64
+	for _, l := range res.Layers {
+		if l.Cycles != l.Breakdown.Total() {
+			t.Fatalf("layer %d: cycles %d != breakdown %d", l.Layer, l.Cycles, l.Breakdown.Total())
+		}
+		if l.RingSize < 2 {
+			t.Fatalf("layer %d ring size %d", l.Layer, l.RingSize)
+		}
+		sum += l.Cycles
+	}
+	if sum != res.Cycles {
+		t.Fatalf("Finalize mismatch: %d vs %d", sum, res.Cycles)
+	}
+	if res.Traffic.MACs <= 0 || res.Traffic.LocalBytes() <= 0 {
+		t.Fatal("traffic not accounted")
+	}
+}
+
+func TestRunRejectsEmpty(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	if _, err := s.Run(nil, smallProfile()); err == nil {
+		t.Fatal("nil model must error")
+	}
+	m := gnn.MustModel("gcn", []int{8, 4}, 1)
+	if _, err := s.Run(m, graph.NewProfile("empty", nil)); err == nil {
+		t.Fatal("empty profile must error")
+	}
+}
+
+func TestSupportsAllModels(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	for _, name := range gnn.AllModelNames() {
+		if !s.Supports(gnn.MustModel(name, []int{8, 4}, 1)) {
+			t.Fatalf("SCALE must support %s", name)
+		}
+	}
+}
+
+// High utilization in both phases with the DVS policy (Fig. 13a: 98.7 % and
+// 97.3 % on average).
+func TestUtilizationHighWithDVS(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	for _, name := range []string{"cora", "pubmed"} {
+		d := graph.MustByName(name)
+		m := gnn.MustModel("gcn", d.FeatureDims, 1)
+		res, err := s.Run(m, d.Profile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AggUtil < 0.85 {
+			t.Errorf("%s: agg util %.3f, want ≥0.85", name, res.AggUtil)
+		}
+		if res.UpdateUtil < 0.85 {
+			t.Errorf("%s: update util %.3f, want ≥0.85", name, res.UpdateUtil)
+		}
+	}
+}
+
+// The scheduling-policy ablation (Fig. 13b): single-objective policies lose
+// utilization on the phase they ignore.
+func TestAblationPolicies(t *testing.T) {
+	d := graph.MustByName("cora")
+	m := gnn.MustModel("gcn", d.FeatureDims, 1)
+	run := func(pol sched.Policy) (float64, float64) {
+		cfg := DefaultConfig()
+		cfg.Policy = pol
+		res, err := MustNew(cfg).Run(m, d.Profile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AggUtil, res.UpdateUtil
+	}
+	dvsAgg, dvsUpd := run(sched.DegreeVertexAware)
+	dsAgg, dsUpd := run(sched.DegreeAware)
+	vsAgg, vsUpd := run(sched.VertexAware)
+	if dsAgg < 0.85 {
+		t.Errorf("S+DS agg util %.3f, want high (paper: 0.991)", dsAgg)
+	}
+	if vsUpd < 0.85 {
+		t.Errorf("S+VS update util %.3f, want high (paper: 0.992)", vsUpd)
+	}
+	if dsUpd >= dvsUpd {
+		t.Errorf("S+DS update util %.3f should trail DVS %.3f", dsUpd, dvsUpd)
+	}
+	if vsAgg >= dvsAgg {
+		t.Errorf("S+VS agg util %.3f should trail DVS %.3f", vsAgg, dvsAgg)
+	}
+}
+
+// Ring-size sensitivity (Fig. 14): for Cora layer 1 the Eq. 3 choice (64)
+// must beat both a too-small ring (weight refetch from DRAM) and the
+// maximal ring.
+func TestRingSizeSweetSpot(t *testing.T) {
+	d := graph.MustByName("cora")
+	m := gnn.MustModel("gcn", d.FeatureDims, 1)
+	p := d.Profile()
+	cyclesAt := func(ring int) int64 {
+		cfg := DefaultConfig()
+		cfg.RingSize = ring
+		res, err := MustNew(cfg).Run(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Layers[0].Cycles
+	}
+	auto := cyclesAt(64) // the Eq. 3 choice for Cora layer 1
+	small := cyclesAt(4)
+	if small <= auto {
+		t.Errorf("ring 4 (%d cycles) should lose to ring 64 (%d): weight refetch", small, auto)
+	}
+	// Eq. 3's pick must be near-optimal across the sweep (Fig. 14: the
+	// curve is flat near the optimum and cliffs at undersized rings).
+	bestOther := int64(1) << 62
+	for _, ring := range []int{8, 16, 32, 128, 256, 512} {
+		if c := cyclesAt(ring); c < bestOther {
+			bestOther = c
+		}
+	}
+	if float64(auto) > 1.05*float64(bestOther) {
+		t.Errorf("Eq.3 ring 64 (%d cycles) more than 5%% off sweep best (%d)", auto, bestOther)
+	}
+}
+
+// Scalability (Fig. 12): more MACs means fewer cycles on a compute-heavy
+// graph. The paper highlights Nell (large features, high irregularity) as
+// the best-scaling dataset for SCALE.
+func TestScalingMonotone(t *testing.T) {
+	d := graph.MustByName("nell")
+	m := gnn.MustModel("gcn", d.FeatureDims, 1)
+	p := d.Profile()
+	var prev int64
+	for i, macs := range []int{512, 1024, 2048, 4096} {
+		cfg, err := ConfigForMACs(macs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := MustNew(cfg).Run(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && float64(res.Cycles) >= 0.7*float64(prev) {
+			t.Fatalf("insufficient speedup at %d MACs: %d vs %d", macs, res.Cycles, prev)
+		}
+		prev = res.Cycles
+	}
+}
+
+// The batch-size selection must keep scheduling hidden: exposed scheduling
+// cycles should be a negligible share of the total.
+func TestSchedulingHidden(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	d := graph.MustByName("pubmed")
+	m := gnn.MustModel("gcn", d.FeatureDims, 1)
+	res, err := s.Run(m, d.Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share := float64(res.Breakdown.Sched) / float64(res.Cycles); share > 0.05 {
+		t.Fatalf("exposed scheduling share %.3f, want < 0.05", share)
+	}
+}
+
+// Work conservation: the cycle count must be at least the ideal
+// (total ops / total MACs) bound and within a small factor of it for a
+// well-balanced graph.
+func TestCyclesNearWorkBound(t *testing.T) {
+	s := MustNew(DefaultConfig())
+	d := graph.MustByName("cora")
+	m := gnn.MustModel("gcn", d.FeatureDims, 1)
+	p := d.Profile()
+	res, err := s.Run(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops int64
+	for _, l := range m.Layers {
+		ops += l.Work().TotalOps(p)
+	}
+	// SCALE's engines are split 50/50 between phases, so the tight bound
+	// is per-engine: the dominant phase's ops over half the MACs.
+	idealAll := ops / int64(s.MACs())
+	if res.Cycles < idealAll {
+		t.Fatalf("cycles %d below physical bound %d", res.Cycles, idealAll)
+	}
+	if res.Cycles > 6*idealAll {
+		t.Fatalf("cycles %d implausibly far above bound %d", res.Cycles, idealAll)
+	}
+}
+
+func TestExposedCommSmall(t *testing.T) {
+	// SCALE's one-hop ring: exposed communication (fills) must be a tiny
+	// share of total latency (§VII-A reports up to 87.56 % lower exposed
+	// communication than baselines).
+	s := MustNew(DefaultConfig())
+	d := graph.MustByName("pubmed")
+	m := gnn.MustModel("gin", d.FeatureDims, 1)
+	res, err := s.Run(m, d.Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share := float64(res.Breakdown.ExposedComm) / float64(res.Cycles); share > 0.05 {
+		t.Fatalf("exposed comm share %.3f, want < 0.05", share)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"scale/internal/arch"
+	"scale/internal/gnn"
+	"scale/internal/graph"
+)
+
+// Trace records per-batch execution detail for one run — the observability
+// companion to the aggregate Result: ring makespans, phase op extremes, and
+// fill overheads per scheduling batch, per layer.
+type Trace struct {
+	Layers []LayerTrace
+}
+
+// LayerTrace is one layer's batch-by-batch record.
+type LayerTrace struct {
+	Layer    int
+	RingSize int
+	NumRings int
+	Batch    int // batch size B used
+	Batches  []BatchTrace
+}
+
+// BatchTrace is one scheduling batch's timing summary.
+type BatchTrace struct {
+	// Compute is the batch makespan (slowest ring, fills included).
+	Compute int64
+	// AggOpsMax / UpdOpsMax are the slowest ring's per-phase op counts.
+	AggOpsMax, UpdOpsMax int64
+	// Fill is the worst ring's pipeline fill overhead.
+	Fill int64
+}
+
+// BalanceAgg returns the batch-level aggregation balance across batches:
+// mean batch compute over max batch compute (1 = perfectly even batches).
+func (lt LayerTrace) BalanceAgg() float64 {
+	if len(lt.Batches) == 0 {
+		return 1
+	}
+	var sum, max int64
+	for _, b := range lt.Batches {
+		sum += b.Compute
+		if b.Compute > max {
+			max = b.Compute
+		}
+	}
+	if max == 0 {
+		return 1
+	}
+	return float64(sum) / float64(len(lt.Batches)) / float64(max)
+}
+
+// String summarizes the layer trace.
+func (lt LayerTrace) String() string {
+	return fmt.Sprintf("layer %d: ring=%d rings=%d B=%d batches=%d batch-evenness=%.2f",
+		lt.Layer, lt.RingSize, lt.NumRings, lt.Batch, len(lt.Batches), lt.BalanceAgg())
+}
+
+// RunTraced is Run with per-batch trace capture.
+func (s *SCALE) RunTraced(m *gnn.Model, p *graph.Profile) (*arch.Result, *Trace, error) {
+	if err := arch.CheckRunnable(s, m, p); err != nil {
+		return nil, nil, err
+	}
+	res := &arch.Result{Accelerator: s.Name(), Model: m.Name(), Dataset: p.Name}
+	trace := &Trace{}
+	for li, layer := range m.Layers {
+		lr, traffic, lt, err := s.runLayerTraced(li, layer.Work(), p)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Layers = append(res.Layers, lr)
+		res.Traffic.Add(traffic)
+		trace.Layers = append(trace.Layers, lt)
+	}
+	s.chargeReconfiguration(res.Layers)
+	res.Finalize()
+	return res, trace, nil
+}

@@ -1,0 +1,170 @@
+// Package dse explores the SCALE hardware design space: PE-array geometry,
+// global-buffer capacity, and local-buffer provisioning, evaluated against a
+// workload for latency, area, and energy. The paper fixes one §VII-A design
+// point; this package turns the simulator into the holistic
+// architecture/dataflow exploration framework the evaluation implies
+// (cf. the authors' GLSVLSI'23 companion work), selecting Pareto-optimal
+// configurations or the fastest design under an area budget.
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"scale/internal/core"
+	"scale/internal/energy"
+	"scale/internal/gnn"
+	"scale/internal/graph"
+)
+
+// Point is one evaluated design configuration.
+type Point struct {
+	Rows, Cols     int
+	GBBytes        int64
+	UpdateBufBytes int64
+
+	// Evaluated metrics.
+	Cycles   int64
+	AreaMM2  float64
+	EnergyPJ float64
+}
+
+// MACs returns the point's MAC count.
+func (p Point) MACs() int { return p.Rows * p.Cols * 2 }
+
+// EDP returns the energy-delay product (pJ·cycles), the standard scalar for
+// ranking design points.
+func (p Point) EDP() float64 { return p.EnergyPJ * float64(p.Cycles) }
+
+// String summarizes the point.
+func (p Point) String() string {
+	return fmt.Sprintf("%dx%d GB=%dKB buf=%dKB: %d cycles, %.1f mm², %.2f mJ",
+		p.Rows, p.Cols, p.GBBytes>>10, p.UpdateBufBytes>>10,
+		p.Cycles, p.AreaMM2, p.EnergyPJ/1e9)
+}
+
+// Space enumerates the candidate configurations.
+type Space struct {
+	Geometries     [][2]int
+	GBBytes        []int64
+	UpdateBufBytes []int64
+}
+
+// DefaultSpace covers the §VII-B geometries around the paper's design point,
+// halved/doubled buffer capacities.
+func DefaultSpace() Space {
+	return Space{
+		Geometries:     [][2]int{{16, 16}, {32, 16}, {32, 32}, {64, 32}},
+		GBBytes:        []int64{2 << 20, 4 << 20, 8 << 20},
+		UpdateBufBytes: []int64{2 << 10, 4 << 10, 8 << 10},
+	}
+}
+
+// Size returns the number of points in the space.
+func (s Space) Size() int {
+	return len(s.Geometries) * len(s.GBBytes) * len(s.UpdateBufBytes)
+}
+
+// Explore evaluates every point of the space on the workload. Points whose
+// configuration fails validation are skipped.
+func Explore(space Space, m *gnn.Model, p *graph.Profile) ([]Point, error) {
+	if space.Size() == 0 {
+		return nil, fmt.Errorf("dse: empty space")
+	}
+	eparams := energy.DefaultParams()
+	aparams := energy.DefaultAreaParams()
+	var points []Point
+	for _, geom := range space.Geometries {
+		for _, gb := range space.GBBytes {
+			for _, buf := range space.UpdateBufBytes {
+				cfg := core.DefaultConfig()
+				cfg.Rows, cfg.Cols = geom[0], geom[1]
+				cfg.GB.CapacityBytes = gb
+				cfg.UpdateBufBytes = buf
+				cfg.WeightBufBytes = buf / 2
+				cfg.AggBufBytes = buf / 2
+				accel, err := core.New(cfg)
+				if err != nil {
+					continue
+				}
+				r, err := accel.Run(m, p)
+				if err != nil {
+					return nil, err
+				}
+				area := energy.Area(aparams, gb,
+					int64(cfg.NumPEs())*cfg.LocalBufBytes(), cfg.TotalMACs(), cfg.Rows)
+				e := energy.Estimate(eparams, r.Traffic, r.Cycles)
+				points = append(points, Point{
+					Rows: geom[0], Cols: geom[1], GBBytes: gb, UpdateBufBytes: buf,
+					Cycles: r.Cycles, AreaMM2: area.Total(), EnergyPJ: e.Total(),
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// Pareto returns the subset of points not dominated in (cycles, area):
+// a point is kept iff no other point is at least as good on both axes and
+// strictly better on one. The result is sorted by ascending cycles.
+func Pareto(points []Point) []Point {
+	var front []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if q.Cycles <= p.Cycles && q.AreaMM2 <= p.AreaMM2 &&
+				(q.Cycles < p.Cycles || q.AreaMM2 < p.AreaMM2) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Cycles != front[j].Cycles {
+			return front[i].Cycles < front[j].Cycles
+		}
+		return front[i].AreaMM2 < front[j].AreaMM2
+	})
+	return front
+}
+
+// BestUnderArea returns the fastest point whose area fits the budget (mm²),
+// or an error if none fits.
+func BestUnderArea(points []Point, budget float64) (Point, error) {
+	best := Point{Cycles: 1<<63 - 1}
+	found := false
+	for _, p := range points {
+		if p.AreaMM2 > budget {
+			continue
+		}
+		if !found || p.Cycles < best.Cycles ||
+			(p.Cycles == best.Cycles && p.AreaMM2 < best.AreaMM2) {
+			best = p
+			found = true
+		}
+	}
+	if !found {
+		return Point{}, fmt.Errorf("dse: no configuration fits %.1f mm²", budget)
+	}
+	return best, nil
+}
+
+// BestEDP returns the point with the lowest energy-delay product.
+func BestEDP(points []Point) (Point, error) {
+	if len(points) == 0 {
+		return Point{}, fmt.Errorf("dse: no points")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.EDP() < best.EDP() {
+			best = p
+		}
+	}
+	return best, nil
+}

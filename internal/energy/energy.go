@@ -1,0 +1,109 @@
+// Package energy provides the event-stream energy accounting and the
+// CACTI-style area model behind Fig. 15 (energy breakdown) and Fig. 16(b)
+// (area breakdown). The paper derives per-event costs from a Synopsys 32 nm
+// flow plus CACTI 6.0; we use representative 32 nm-class constants. Only
+// relative breakdowns and ratios are reported by the harness, which such
+// constants reproduce (see DESIGN.md §1).
+package energy
+
+import "scale/internal/mem"
+
+// Params holds the per-event energy costs in picojoules.
+type Params struct {
+	DRAMPerByte  float64 // HBM access energy
+	GBPerByte    float64 // global-buffer SRAM access energy
+	LocalPerByte float64 // register/local-buffer access energy
+	MACEnergy    float64 // one float32 multiply-accumulate
+	// StaticPerCycle models leakage + clock tree, spread over the run.
+	StaticPerCycle float64
+}
+
+// DefaultParams returns representative 32 nm-class constants.
+func DefaultParams() Params {
+	return Params{
+		DRAMPerByte:    30.0,  // ~3.7 pJ/bit HBM-class
+		GBPerByte:      1.5,   // multi-MB SRAM
+		LocalPerByte:   0.08,  // small register files
+		MACEnergy:      1.2,   // fp32 MAC at 32 nm
+		StaticPerCycle: 150.0, // whole-chip leakage per cycle
+	}
+}
+
+// Breakdown is an energy decomposition in picojoules, matching the Fig. 15
+// stack categories.
+type Breakdown struct {
+	DRAM    float64
+	GB      float64
+	Local   float64
+	Compute float64
+	Static  float64
+}
+
+// Total sums all categories.
+func (b Breakdown) Total() float64 {
+	return b.DRAM + b.GB + b.Local + b.Compute + b.Static
+}
+
+// Estimate converts a traffic record plus a cycle count into energy.
+func Estimate(p Params, t mem.Traffic, cycles int64) Breakdown {
+	return Breakdown{
+		DRAM:    p.DRAMPerByte * float64(t.DRAMBytes()),
+		GB:      p.GBPerByte * float64(t.GBBytes()),
+		Local:   p.LocalPerByte * float64(t.LocalBytes()),
+		Compute: p.MACEnergy * float64(t.MACs),
+		Static:  p.StaticPerCycle * float64(cycles),
+	}
+}
+
+// AreaParams holds the component area densities (mm²) of the 32 nm model.
+type AreaParams struct {
+	SRAMPerMB      float64 // global and local buffer SRAM
+	MACArea        float64 // one fp32 MAC unit
+	DispatcherArea float64 // one task dispatcher (queues + barrel shifter)
+	ControllerArea float64 // the central task controller
+}
+
+// DefaultAreaParams returns constants calibrated so the §VII-A SCALE
+// configuration (4 MB GB + 3 MB local, 1024 MACs, 32 dispatchers) lands near
+// the published split: storage 81.4 %, MACs 12.2 %, task control 6.4 %.
+func DefaultAreaParams() AreaParams {
+	return AreaParams{
+		SRAMPerMB:      3.0,
+		MACArea:        0.0031,
+		DispatcherArea: 0.048,
+		ControllerArea: 0.12,
+	}
+}
+
+// AreaBreakdown is the Fig. 16(b) decomposition in mm².
+type AreaBreakdown struct {
+	GlobalBuffer float64
+	LocalBuffer  float64
+	MACs         float64
+	TaskControl  float64
+}
+
+// Total sums all components.
+func (a AreaBreakdown) Total() float64 {
+	return a.GlobalBuffer + a.LocalBuffer + a.MACs + a.TaskControl
+}
+
+// StorageShare returns the storage fraction of the die (paper: 81.4 %).
+func (a AreaBreakdown) StorageShare() float64 {
+	t := a.Total()
+	if t == 0 {
+		return 0
+	}
+	return (a.GlobalBuffer + a.LocalBuffer) / t
+}
+
+// Area computes the die breakdown for an accelerator configuration.
+func Area(p AreaParams, gbBytes, localBytes int64, macs, dispatchers int) AreaBreakdown {
+	const mb = 1 << 20
+	return AreaBreakdown{
+		GlobalBuffer: p.SRAMPerMB * float64(gbBytes) / mb,
+		LocalBuffer:  p.SRAMPerMB * float64(localBytes) / mb,
+		MACs:         p.MACArea * float64(macs),
+		TaskControl:  p.DispatcherArea*float64(dispatchers) + p.ControllerArea,
+	}
+}

@@ -1,0 +1,80 @@
+package energy
+
+import (
+	"testing"
+
+	"scale/internal/mem"
+)
+
+func TestEstimateLinear(t *testing.T) {
+	p := DefaultParams()
+	tr := mem.Traffic{DRAMReadBytes: 100, GBReadBytes: 200, LocalReadBytes: 400, MACs: 50}
+	b := Estimate(p, tr, 10)
+	if b.DRAM != p.DRAMPerByte*100 {
+		t.Fatalf("DRAM energy = %v", b.DRAM)
+	}
+	if b.GB != p.GBPerByte*200 || b.Local != p.LocalPerByte*400 {
+		t.Fatalf("SRAM energies wrong: %+v", b)
+	}
+	if b.Compute != p.MACEnergy*50 || b.Static != p.StaticPerCycle*10 {
+		t.Fatalf("compute/static wrong: %+v", b)
+	}
+	if b.Total() <= 0 {
+		t.Fatal("total must be positive")
+	}
+}
+
+func TestEnergyHierarchyOrdering(t *testing.T) {
+	// A byte from DRAM must cost more than a byte from the global buffer,
+	// which must cost more than a register access — the premise of
+	// SCALE's register-level reuse argument (§VII-G).
+	p := DefaultParams()
+	if !(p.DRAMPerByte > p.GBPerByte && p.GBPerByte > p.LocalPerByte) {
+		t.Fatalf("hierarchy inverted: %+v", p)
+	}
+	if p.DRAMPerByte/p.LocalPerByte < 50 {
+		t.Fatal("DRAM:register energy ratio implausibly small")
+	}
+}
+
+func TestAreaBreakdownMatchesPaperShares(t *testing.T) {
+	// Fig. 16(b): storage 81.4 %, MACs 12.2 %, task control 6.4 % for the
+	// §VII-A configuration (4 MB GB, 512 PEs × 6 KB local, 1024 MACs,
+	// 32 task dispatchers).
+	a := Area(DefaultAreaParams(), 4<<20, 512*6<<10, 1024, 32)
+	storage := a.StorageShare()
+	if storage < 0.75 || storage > 0.88 {
+		t.Fatalf("storage share %.3f, paper reports 0.814", storage)
+	}
+	mac := a.MACs / a.Total()
+	if mac < 0.08 || mac > 0.17 {
+		t.Fatalf("MAC share %.3f, paper reports 0.122", mac)
+	}
+	ctrl := a.TaskControl / a.Total()
+	if ctrl < 0.03 || ctrl > 0.11 {
+		t.Fatalf("control share %.3f, paper reports 0.064", ctrl)
+	}
+}
+
+func TestAreaScalesWithConfig(t *testing.T) {
+	p := DefaultAreaParams()
+	small := Area(p, 2<<20, 1<<20, 512, 16)
+	big := Area(p, 4<<20, 2<<20, 1024, 32)
+	if big.Total() <= small.Total() {
+		t.Fatal("area must grow with configuration")
+	}
+	if big.MACs != 2*small.MACs {
+		t.Fatal("MAC area must be linear in MAC count")
+	}
+}
+
+func TestZeroTraffic(t *testing.T) {
+	b := Estimate(DefaultParams(), mem.Traffic{}, 0)
+	if b.Total() != 0 {
+		t.Fatalf("zero traffic should cost zero, got %+v", b)
+	}
+	var a AreaBreakdown
+	if a.StorageShare() != 0 {
+		t.Fatal("zero area share should be zero")
+	}
+}

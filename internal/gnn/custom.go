@@ -1,0 +1,121 @@
+package gnn
+
+import (
+	"fmt"
+
+	"scale/internal/tensor"
+)
+
+// CustomSpec defines a user-authored message passing layer from the three
+// Eq. 1–2 pieces — message function, commutative reduction, update function
+// — the same surface DGL and PyTorch Geometric expose (§II-A). Any layer
+// expressible this way runs on SCALE's fused dataflow unchanged: the only
+// hard requirement is that Reduce is commutative and associative, which the
+// ring's chained reduction relies on (§III-B).
+type CustomSpec struct {
+	// Name labels the layer.
+	Name string
+	// InDim, MsgDim, OutDim are the feature widths.
+	InDim, MsgDim, OutDim int
+	// Reduce is the aggregation reduction.
+	Reduce ReduceKind
+	// PrepareSources optionally transforms all vertex features into
+	// per-source message inputs (rows of width MsgDim; nil = identity,
+	// requiring MsgDim == InDim).
+	PrepareSources func(h *tensor.Matrix) *tensor.Matrix
+	// PrepareDest optionally produces per-destination rows for Message.
+	PrepareDest func(h *tensor.Matrix) *tensor.Matrix
+	// Message writes one edge's message into out (width
+	// Reduce.AccWidth(MsgDim)); nil copies the prepared source row.
+	Message func(out, psrc, pdst []float32, ctx EdgeContext)
+	// Update combines a vertex's input features with its finalized
+	// aggregation into the output row. Required.
+	Update func(hself, agg []float32) []float32
+	// Work characterizes the hardware workload for the timing models; the
+	// zero value derives a copy-message/sum-reduce estimate from the dims.
+	Work LayerWork
+}
+
+// NewCustomLayer validates the spec and returns a Layer usable everywhere a
+// built-in model layer is: the golden reference, the SCALE functional
+// executor, and every accelerator timing model.
+func NewCustomLayer(spec CustomSpec) (Layer, error) {
+	if spec.InDim < 1 || spec.OutDim < 1 || spec.MsgDim < 1 {
+		return nil, fmt.Errorf("gnn: custom layer %q: dims must be positive", spec.Name)
+	}
+	if spec.Update == nil {
+		return nil, fmt.Errorf("gnn: custom layer %q: Update is required", spec.Name)
+	}
+	if spec.PrepareSources == nil && spec.MsgDim != spec.InDim {
+		return nil, fmt.Errorf("gnn: custom layer %q: identity PrepareSources needs MsgDim == InDim", spec.Name)
+	}
+	w := spec.Work
+	if w == (LayerWork{}) {
+		w = LayerWork{
+			InDim: spec.InDim, MsgDim: spec.MsgDim, OutDim: spec.OutDim,
+			ReduceOpsPerEdge:    int64(spec.MsgDim),
+			UpdateMACsPerVertex: int64(spec.InDim)*int64(spec.OutDim) + int64(spec.OutDim),
+			WeightBytes:         4 * int64(spec.InDim) * int64(spec.OutDim),
+		}
+	}
+	w.InDim, w.MsgDim, w.OutDim = spec.InDim, spec.MsgDim, spec.OutDim
+	return &customLayer{spec: spec, work: w}, nil
+}
+
+// CustomModel wraps custom layers into a Model.
+func CustomModel(name string, layers ...Layer) (*Model, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("gnn: custom model %q has no layers", name)
+	}
+	for i := 1; i < len(layers); i++ {
+		if layers[i].InDim() != layers[i-1].OutDim() {
+			return nil, fmt.Errorf("gnn: custom model %q: layer %d input %d != layer %d output %d",
+				name, i, layers[i].InDim(), i-1, layers[i-1].OutDim())
+		}
+	}
+	return &Model{ModelName: name, Layers: layers}, nil
+}
+
+type customLayer struct {
+	spec CustomSpec
+	work LayerWork
+}
+
+func (l *customLayer) Name() string {
+	if l.spec.Name != "" {
+		return l.spec.Name
+	}
+	return "custom"
+}
+func (l *customLayer) InDim() int         { return l.spec.InDim }
+func (l *customLayer) OutDim() int        { return l.spec.OutDim }
+func (l *customLayer) MsgDim() int        { return l.spec.MsgDim }
+func (l *customLayer) Reduce() ReduceKind { return l.spec.Reduce }
+
+func (l *customLayer) PrepareSources(h *tensor.Matrix) *tensor.Matrix {
+	if l.spec.PrepareSources == nil {
+		return h
+	}
+	return l.spec.PrepareSources(h)
+}
+
+func (l *customLayer) PrepareDest(h *tensor.Matrix) *tensor.Matrix {
+	if l.spec.PrepareDest == nil {
+		return nil
+	}
+	return l.spec.PrepareDest(h)
+}
+
+func (l *customLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
+	if l.spec.Message == nil {
+		copy(out, psrc)
+		return
+	}
+	l.spec.Message(out, psrc, pdst, ctx)
+}
+
+func (l *customLayer) Update(hself, agg []float32) []float32 {
+	return l.spec.Update(hself, agg)
+}
+
+func (l *customLayer) Work() LayerWork { return l.work }

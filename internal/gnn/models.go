@@ -1,0 +1,511 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"scale/internal/tensor"
+)
+
+// ModelNames lists the evaluated models in the paper's order, plus the GAT
+// extension (§I motivates SCALE with attention models; GAT exercises the
+// SDDMM-style edge computation path).
+func ModelNames() []string { return []string{"gcn", "ggcn", "gs-pl", "gin"} }
+
+// AllModelNames includes the extensions beyond the paper's evaluated set:
+// GAT (attention / SDDMM-style edge scores) and GraphSAGE-Mean (mean
+// reduction, the divide-on-finalize path).
+func AllModelNames() []string { return append(ModelNames(), "gat", "gat-4h", "gs-mean") }
+
+// NewModel constructs the named model for the given feature-length chain,
+// e.g. NewModel("gcn", []int{1433, 16, 7}, 1).
+func NewModel(name string, dims []int, seed int64) (*Model, error) {
+	if len(dims) < 2 {
+		return nil, fmt.Errorf("gnn: need at least 2 dims, got %v", dims)
+	}
+	m := &Model{ModelName: name}
+	for i := 0; i+1 < len(dims); i++ {
+		last := i+2 == len(dims)
+		// Weights are materialized lazily (per-layer derived seed):
+		// timing-only simulation of Table II-scale models must not
+		// allocate multi-GB matrices it never reads.
+		layerSeed := seed*1000003 + int64(i)
+		var l Layer
+		switch name {
+		case "gcn":
+			l = newGCNLayer(layerSeed, dims[i], dims[i+1], !last)
+		case "ggcn":
+			l = newGGCNLayer(layerSeed, dims[i], dims[i+1], !last)
+		case "gs-pl":
+			l = newSAGEPoolLayer(layerSeed, dims[i], dims[i+1], !last)
+		case "gin":
+			l = newGINLayer(layerSeed, dims[i], dims[i+1], !last)
+		case "gat":
+			l = newGATLayer(layerSeed, dims[i], dims[i+1], !last)
+		case "gat-4h":
+			l = newMultiHeadGATLayer(layerSeed, dims[i], dims[i+1], 4, !last)
+		case "gs-mean":
+			l = newSAGEMeanLayer(layerSeed, dims[i], dims[i+1], !last)
+		default:
+			return nil, fmt.Errorf("gnn: unknown model %q (have %v)", name, AllModelNames())
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	return m, nil
+}
+
+// MustModel is NewModel for statically known names; panics on error.
+func MustModel(name string, dims []int, seed int64) *Model {
+	m, err := NewModel(name, dims, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func maybeReLU(act bool, x []float32) []float32 {
+	if act {
+		return tensor.ReLU(x)
+	}
+	return x
+}
+
+// ---------------------------------------------------------------------------
+// GCN (Kipf & Welling): m_v = Σ_u h_u / √(d_u·d_v);  h'_v = σ(W·m_v).
+
+type gcnLayer struct {
+	in, out int
+	act     bool
+	seed    int64
+	once    sync.Once
+	w       *tensor.Matrix // in×out, lazily materialized
+}
+
+func newGCNLayer(seed int64, in, out int, act bool) *gcnLayer {
+	return &gcnLayer{in: in, out: out, act: act, seed: seed}
+}
+
+func (l *gcnLayer) ensure() {
+	l.once.Do(func() {
+		rng := rand.New(rand.NewSource(l.seed))
+		l.w = tensor.GlorotMatrix(rng, l.in, l.out)
+	})
+}
+
+func (l *gcnLayer) Name() string       { return "gcn" }
+func (l *gcnLayer) InDim() int         { return l.in }
+func (l *gcnLayer) OutDim() int        { return l.out }
+func (l *gcnLayer) MsgDim() int        { return l.in }
+func (l *gcnLayer) Reduce() ReduceKind { return ReduceSum }
+
+func (l *gcnLayer) PrepareSources(h *tensor.Matrix) *tensor.Matrix { return h }
+func (l *gcnLayer) PrepareDest(h *tensor.Matrix) *tensor.Matrix    { return nil }
+
+func (l *gcnLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
+	norm := gcnNorm(ctx.SrcDeg, ctx.DstDeg)
+	for i, v := range psrc {
+		out[i] = norm * v
+	}
+}
+
+func gcnNorm(srcDeg, dstDeg int) float32 {
+	if srcDeg < 1 {
+		srcDeg = 1
+	}
+	if dstDeg < 1 {
+		dstDeg = 1
+	}
+	return float32(1 / math.Sqrt(float64(srcDeg)*float64(dstDeg)))
+}
+
+func (l *gcnLayer) Update(hself, agg []float32) []float32 {
+	l.ensure()
+	return maybeReLU(l.act, tensor.VecMat(agg, l.w))
+}
+
+// UpdateWeights exposes the update GEMV matrix so the register-level update
+// ring (internal/core/micro) can execute this layer exactly.
+func (l *gcnLayer) UpdateWeights() *tensor.Matrix {
+	l.ensure()
+	return l.w
+}
+
+func (l *gcnLayer) Work() LayerWork {
+	return LayerWork{
+		InDim: l.in, MsgDim: l.in, OutDim: l.out,
+		// The symmetric norm folds into the adjacency values, so each
+		// per-edge element costs one MAC — exactly SpMM.
+		ReduceOpsPerEdge:    int64(l.in),
+		UpdateMACsPerVertex: int64(l.in)*int64(l.out) + int64(l.out),
+		WeightBytes:         4 * int64(l.in) * int64(l.out),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// G-GCN (Bresson & Laurent residual gated graph convnets):
+//   η_uv = σ(A·h_v + B·h_u);  m_v = Σ_u η_uv ⊙ (V·h_u);  h'_v = σ(U·h_v + m_v)
+
+type ggcnLayer struct {
+	in, out    int
+	act        bool
+	seed       int64
+	once       sync.Once
+	a, b, u, v *tensor.Matrix // each in×out, lazily materialized
+}
+
+func newGGCNLayer(seed int64, in, out int, act bool) *ggcnLayer {
+	return &ggcnLayer{in: in, out: out, act: act, seed: seed}
+}
+
+func (l *ggcnLayer) ensure() {
+	l.once.Do(func() {
+		rng := rand.New(rand.NewSource(l.seed))
+		l.a = tensor.GlorotMatrix(rng, l.in, l.out)
+		l.b = tensor.GlorotMatrix(rng, l.in, l.out)
+		l.u = tensor.GlorotMatrix(rng, l.in, l.out)
+		l.v = tensor.GlorotMatrix(rng, l.in, l.out)
+	})
+}
+
+func (l *ggcnLayer) Name() string       { return "ggcn" }
+func (l *ggcnLayer) InDim() int         { return l.in }
+func (l *ggcnLayer) OutDim() int        { return l.out }
+func (l *ggcnLayer) MsgDim() int        { return l.out }
+func (l *ggcnLayer) Reduce() ReduceKind { return ReduceSum }
+
+// PrepareSources rows are [B·h_u ; V·h_u] (2·out wide: gate term then value).
+func (l *ggcnLayer) PrepareSources(h *tensor.Matrix) *tensor.Matrix {
+	l.ensure()
+	p := tensor.NewMatrix(h.Rows, 2*l.out)
+	for i := 0; i < h.Rows; i++ {
+		row := p.Row(i)
+		copy(row[:l.out], tensor.VecMat(h.Row(i), l.b))
+		copy(row[l.out:], tensor.VecMat(h.Row(i), l.v))
+	}
+	return p
+}
+
+// PrepareDest rows are A·h_v.
+func (l *ggcnLayer) PrepareDest(h *tensor.Matrix) *tensor.Matrix {
+	l.ensure()
+	p := tensor.NewMatrix(h.Rows, l.out)
+	for i := 0; i < h.Rows; i++ {
+		copy(p.Row(i), tensor.VecMat(h.Row(i), l.a))
+	}
+	return p
+}
+
+func (l *ggcnLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
+	for i := 0; i < l.out; i++ {
+		gate := sigmoid32(pdst[i] + psrc[i])
+		out[i] = gate * psrc[l.out+i]
+	}
+}
+
+func (l *ggcnLayer) Update(hself, agg []float32) []float32 {
+	l.ensure()
+	o := tensor.VecMat(hself, l.u)
+	for i := range o {
+		o[i] += agg[i]
+	}
+	return maybeReLU(l.act, o)
+}
+
+func (l *ggcnLayer) Work() LayerWork {
+	io := int64(l.in) * int64(l.out)
+	return LayerWork{
+		InDim: l.in, MsgDim: l.out, OutDim: l.out,
+		PreMACsPerVertex:    2 * io,           // B·h and V·h
+		DstMACsPerVertex:    io,               // A·h
+		GateOpsPerEdge:      3 * int64(l.out), // add, σ, ⊙ per element
+		ReduceOpsPerEdge:    int64(l.out),
+		UpdateMACsPerVertex: io + 2*int64(l.out), // U·h + add + act
+		WeightBytes:         4 * 4 * io,
+	}
+}
+
+func sigmoid32(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// ---------------------------------------------------------------------------
+// GraphSAGE-Pool (Hamilton et al.):
+//   m_v = max_u ReLU(W_p·h_u + b_p);  h'_v = σ(W·[h_v ; m_v])
+// The pooling width follows the DGL convention of matching the input width,
+// capped at 512 so sparse-bag-of-words inputs (Nell: 61278) pool into a
+// dense hidden space instead of a quadratic-in-61278 matrix.
+
+const maxPoolDim = 512
+
+type sagePoolLayer struct {
+	in, pool, out int
+	act           bool
+	seed          int64
+	once          sync.Once
+	wp            *tensor.Matrix // in×pool MLP, lazily materialized
+	bp            []float32
+	w             *tensor.Matrix // (in+pool)×out
+}
+
+func newSAGEPoolLayer(seed int64, in, out int, act bool) *sagePoolLayer {
+	pool := in
+	if pool > maxPoolDim {
+		pool = maxPoolDim
+	}
+	return &sagePoolLayer{in: in, pool: pool, out: out, act: act, seed: seed}
+}
+
+func (l *sagePoolLayer) ensure() {
+	l.once.Do(func() {
+		rng := rand.New(rand.NewSource(l.seed))
+		l.wp = tensor.GlorotMatrix(rng, l.in, l.pool)
+		l.bp = tensor.RandomVector(rng, l.pool, 0.1)
+		l.w = tensor.GlorotMatrix(rng, l.in+l.pool, l.out)
+	})
+}
+
+func (l *sagePoolLayer) Name() string       { return "gs-pl" }
+func (l *sagePoolLayer) InDim() int         { return l.in }
+func (l *sagePoolLayer) OutDim() int        { return l.out }
+func (l *sagePoolLayer) MsgDim() int        { return l.pool }
+func (l *sagePoolLayer) Reduce() ReduceKind { return ReduceMax }
+
+func (l *sagePoolLayer) PrepareSources(h *tensor.Matrix) *tensor.Matrix {
+	l.ensure()
+	p := tensor.NewMatrix(h.Rows, l.pool)
+	for i := 0; i < h.Rows; i++ {
+		row := tensor.VecMat(h.Row(i), l.wp)
+		for j := range row {
+			row[j] += l.bp[j]
+		}
+		copy(p.Row(i), tensor.ReLU(row))
+	}
+	return p
+}
+
+func (l *sagePoolLayer) PrepareDest(h *tensor.Matrix) *tensor.Matrix { return nil }
+
+func (l *sagePoolLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
+	copy(out, psrc)
+}
+
+func (l *sagePoolLayer) Update(hself, agg []float32) []float32 {
+	l.ensure()
+	return maybeReLU(l.act, tensor.VecMat(tensor.Concat(hself, agg), l.w))
+}
+
+func (l *sagePoolLayer) Work() LayerWork {
+	in, pool, out := int64(l.in), int64(l.pool), int64(l.out)
+	return LayerWork{
+		InDim: l.in, MsgDim: l.pool, OutDim: l.out,
+		PreMACsPerVertex:    in*pool + 2*pool, // pool GEMV + bias + ReLU
+		ReduceOpsPerEdge:    pool,             // elementwise max
+		UpdateMACsPerVertex: (in+pool)*out + out,
+		WeightBytes:         4 * (in*pool + pool + (in+pool)*out),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// GIN (Xu et al.): m_v = Σ_u h_u;  h'_v = MLP((1+ε)·h_v + m_v)
+// with a 2-layer MLP W2·ReLU(W1·x).
+
+type ginLayer struct {
+	in, out int
+	eps     float32
+	act     bool
+	seed    int64
+	once    sync.Once
+	w1      *tensor.Matrix // in×out, lazily materialized
+	w2      *tensor.Matrix // out×out
+}
+
+func newGINLayer(seed int64, in, out int, act bool) *ginLayer {
+	return &ginLayer{in: in, out: out, eps: 0.1, act: act, seed: seed}
+}
+
+func (l *ginLayer) ensure() {
+	l.once.Do(func() {
+		rng := rand.New(rand.NewSource(l.seed))
+		l.w1 = tensor.GlorotMatrix(rng, l.in, l.out)
+		l.w2 = tensor.GlorotMatrix(rng, l.out, l.out)
+	})
+}
+
+func (l *ginLayer) Name() string       { return "gin" }
+func (l *ginLayer) InDim() int         { return l.in }
+func (l *ginLayer) OutDim() int        { return l.out }
+func (l *ginLayer) MsgDim() int        { return l.in }
+func (l *ginLayer) Reduce() ReduceKind { return ReduceSum }
+
+func (l *ginLayer) PrepareSources(h *tensor.Matrix) *tensor.Matrix { return h }
+func (l *ginLayer) PrepareDest(h *tensor.Matrix) *tensor.Matrix    { return nil }
+
+func (l *ginLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
+	copy(out, psrc)
+}
+
+func (l *ginLayer) Update(hself, agg []float32) []float32 {
+	l.ensure()
+	x := make([]float32, l.in)
+	for i := range x {
+		x[i] = (1+l.eps)*hself[i] + agg[i]
+	}
+	hidden := tensor.ReLU(tensor.VecMat(x, l.w1))
+	return maybeReLU(l.act, tensor.VecMat(hidden, l.w2))
+}
+
+func (l *ginLayer) Work() LayerWork {
+	in, out := int64(l.in), int64(l.out)
+	return LayerWork{
+		InDim: l.in, MsgDim: l.in, OutDim: l.out,
+		ReduceOpsPerEdge:    in,
+		UpdateMACsPerVertex: 2*in + in*out + out*out + 2*out,
+		WeightBytes:         4 * (in*out + out*out),
+		MLPUpdate:           true,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// GAT (Veličković et al., single head):
+//   z_u = W·h_u;  e_uv = LeakyReLU(a_l·z_v + a_r·z_u)
+//   α_uv = softmax_u(e_uv);  h'_v = σ(Σ_u α_uv·z_u)
+// The softmax is folded into a SumNorm reduction: each message carries
+// exp(e)·z_u plus a trailing exp(e) normalizer, keeping the reduce
+// commutative and associative as the ring dataflow requires.
+
+type gatLayer struct {
+	in, out int
+	act     bool
+	seed    int64
+	once    sync.Once
+	w       *tensor.Matrix // in×out, lazily materialized
+	al, ar  []float32      // out each
+}
+
+func newGATLayer(seed int64, in, out int, act bool) *gatLayer {
+	return &gatLayer{in: in, out: out, act: act, seed: seed}
+}
+
+func (l *gatLayer) ensure() {
+	l.once.Do(func() {
+		rng := rand.New(rand.NewSource(l.seed))
+		l.w = tensor.GlorotMatrix(rng, l.in, l.out)
+		l.al = tensor.RandomVector(rng, l.out, 0.3)
+		l.ar = tensor.RandomVector(rng, l.out, 0.3)
+	})
+}
+
+func (l *gatLayer) Name() string       { return "gat" }
+func (l *gatLayer) InDim() int         { return l.in }
+func (l *gatLayer) OutDim() int        { return l.out }
+func (l *gatLayer) MsgDim() int        { return l.out }
+func (l *gatLayer) Reduce() ReduceKind { return ReduceSumNorm }
+
+// PrepareSources rows are [z_u ; a_r·z_u] (out+1 wide).
+func (l *gatLayer) PrepareSources(h *tensor.Matrix) *tensor.Matrix {
+	l.ensure()
+	p := tensor.NewMatrix(h.Rows, l.out+1)
+	for i := 0; i < h.Rows; i++ {
+		z := tensor.VecMat(h.Row(i), l.w)
+		row := p.Row(i)
+		copy(row, z)
+		row[l.out] = tensor.Dot(l.ar, z)
+	}
+	return p
+}
+
+// PrepareDest rows carry the scalar a_l·z_v.
+func (l *gatLayer) PrepareDest(h *tensor.Matrix) *tensor.Matrix {
+	l.ensure()
+	p := tensor.NewMatrix(h.Rows, 1)
+	for i := 0; i < h.Rows; i++ {
+		z := tensor.VecMat(h.Row(i), l.w)
+		p.Set(i, 0, tensor.Dot(l.al, z))
+	}
+	return p
+}
+
+func (l *gatLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
+	e := pdst[0] + psrc[l.out]
+	if e < 0 {
+		e *= 0.2 // LeakyReLU
+	}
+	w := float32(math.Exp(float64(e)))
+	for i := 0; i < l.out; i++ {
+		out[i] = w * psrc[i]
+	}
+	out[l.out] = w
+}
+
+func (l *gatLayer) Update(hself, agg []float32) []float32 {
+	o := make([]float32, l.out)
+	copy(o, agg)
+	return maybeReLU(l.act, o)
+}
+
+func (l *gatLayer) Work() LayerWork {
+	in, out := int64(l.in), int64(l.out)
+	return LayerWork{
+		InDim: l.in, MsgDim: l.out, OutDim: l.out,
+		PreMACsPerVertex:    in*out + out, // W·h + a_r score
+		DstMACsPerVertex:    out,          // a_l score (z_v reused from source prep)
+		GateOpsPerEdge:      out + 4,      // scale by exp(e) + score ops
+		ReduceOpsPerEdge:    out + 1,
+		UpdateMACsPerVertex: out,
+		WeightBytes:         4 * (in*out + 2*out),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// GraphSAGE-Mean (Hamilton et al.): m_v = mean_u h_u;  h'_v = σ(W·[h_v ; m_v])
+// Extension model: exercises the mean reduction (divide on finalize), which
+// none of the paper's four evaluated models use.
+
+type sageMeanLayer struct {
+	in, out int
+	act     bool
+	seed    int64
+	once    sync.Once
+	w       *tensor.Matrix // 2in×out, lazily materialized
+}
+
+func newSAGEMeanLayer(seed int64, in, out int, act bool) *sageMeanLayer {
+	return &sageMeanLayer{in: in, out: out, act: act, seed: seed}
+}
+
+func (l *sageMeanLayer) ensure() {
+	l.once.Do(func() {
+		rng := rand.New(rand.NewSource(l.seed))
+		l.w = tensor.GlorotMatrix(rng, 2*l.in, l.out)
+	})
+}
+
+func (l *sageMeanLayer) Name() string       { return "gs-mean" }
+func (l *sageMeanLayer) InDim() int         { return l.in }
+func (l *sageMeanLayer) OutDim() int        { return l.out }
+func (l *sageMeanLayer) MsgDim() int        { return l.in }
+func (l *sageMeanLayer) Reduce() ReduceKind { return ReduceMean }
+
+func (l *sageMeanLayer) PrepareSources(h *tensor.Matrix) *tensor.Matrix { return h }
+func (l *sageMeanLayer) PrepareDest(h *tensor.Matrix) *tensor.Matrix    { return nil }
+
+func (l *sageMeanLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
+	copy(out, psrc)
+}
+
+func (l *sageMeanLayer) Update(hself, agg []float32) []float32 {
+	l.ensure()
+	return maybeReLU(l.act, tensor.VecMat(tensor.Concat(hself, agg), l.w))
+}
+
+func (l *sageMeanLayer) Work() LayerWork {
+	in, out := int64(l.in), int64(l.out)
+	return LayerWork{
+		InDim: l.in, MsgDim: l.in, OutDim: l.out,
+		ReduceOpsPerEdge:    in,
+		UpdateMACsPerVertex: 2*in*out + out,
+		WeightBytes:         4 * 2 * in * out,
+	}
+}

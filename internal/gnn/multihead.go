@@ -1,0 +1,121 @@
+package gnn
+
+import (
+	"fmt"
+
+	"scale/internal/tensor"
+)
+
+// multiHeadGATLayer is H independent GAT heads whose outputs concatenate
+// (the standard multi-head attention formulation). Each head owns an
+// out/H-wide transform and attention vectors; the SumNorm trick applies per
+// head, so the accumulator carries H normalizers after the H·(out/H) message
+// elements.
+type multiHeadGATLayer struct {
+	in, out, heads int
+	headDim        int
+	subs           []*gatLayer
+}
+
+func newMultiHeadGATLayer(seed int64, in, out, heads int, act bool) *multiHeadGATLayer {
+	if heads < 1 {
+		heads = 1
+	}
+	for out%heads != 0 {
+		heads-- // out must split evenly across heads
+	}
+	l := &multiHeadGATLayer{in: in, out: out, heads: heads, headDim: out / heads}
+	for h := 0; h < heads; h++ {
+		l.subs = append(l.subs, newGATLayer(seed*31+int64(h), in, l.headDim, act))
+	}
+	return l
+}
+
+func (l *multiHeadGATLayer) Name() string { return fmt.Sprintf("gat-%dh", l.heads) }
+func (l *multiHeadGATLayer) InDim() int   { return l.in }
+func (l *multiHeadGATLayer) OutDim() int  { return l.out }
+
+// MsgDim is the concatenation of the heads' message widths.
+func (l *multiHeadGATLayer) MsgDim() int { return l.heads * (l.headDim + 1) }
+
+// Reduce is a plain sum: each head's normalizer rides inside the message
+// (per-head SumNorm is applied manually in Update), keeping the accumulator
+// a flat commutative sum the ring dataflow handles unchanged.
+func (l *multiHeadGATLayer) Reduce() ReduceKind { return ReduceSum }
+
+// PrepareSources concatenates the heads' prepared rows.
+func (l *multiHeadGATLayer) PrepareSources(h *tensor.Matrix) *tensor.Matrix {
+	parts := make([]*tensor.Matrix, l.heads)
+	for i, sub := range l.subs {
+		parts[i] = sub.PrepareSources(h)
+	}
+	width := 0
+	for _, p := range parts {
+		width += p.Cols
+	}
+	out := tensor.NewMatrix(h.Rows, width)
+	for r := 0; r < h.Rows; r++ {
+		row := out.Row(r)
+		off := 0
+		for _, p := range parts {
+			copy(row[off:off+p.Cols], p.Row(r))
+			off += p.Cols
+		}
+	}
+	return out
+}
+
+// PrepareDest concatenates the heads' destination scalars.
+func (l *multiHeadGATLayer) PrepareDest(h *tensor.Matrix) *tensor.Matrix {
+	out := tensor.NewMatrix(h.Rows, l.heads)
+	for i, sub := range l.subs {
+		p := sub.PrepareDest(h)
+		for r := 0; r < h.Rows; r++ {
+			out.Set(r, i, p.At(r, 0))
+		}
+	}
+	return out
+}
+
+func (l *multiHeadGATLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
+	srcOff, outOff := 0, 0
+	for i, sub := range l.subs {
+		subSrcWidth := sub.out + 1
+		subOutWidth := sub.out + 1
+		sub.MessageInto(out[outOff:outOff+subOutWidth], psrc[srcOff:srcOff+subSrcWidth],
+			pdst[i:i+1], ctx)
+		srcOff += subSrcWidth
+		outOff += subOutWidth
+	}
+}
+
+// Update normalizes each head by its carried weight sum and concatenates.
+func (l *multiHeadGATLayer) Update(hself, agg []float32) []float32 {
+	out := make([]float32, 0, l.out)
+	off := 0
+	for _, sub := range l.subs {
+		head := make([]float32, sub.out+1)
+		copy(head, agg[off:off+sub.out+1])
+		norm := ReduceSumNorm.Finalize(head, sub.out, 0)
+		out = append(out, sub.Update(hself, norm)...)
+		off += sub.out + 1
+	}
+	return out
+}
+
+func (l *multiHeadGATLayer) Work() LayerWork {
+	var w LayerWork
+	for _, sub := range l.subs {
+		sw := sub.Work()
+		w.PreMACsPerVertex += sw.PreMACsPerVertex
+		w.DstMACsPerVertex += sw.DstMACsPerVertex
+		w.GateOpsPerEdge += sw.GateOpsPerEdge
+		w.ReduceOpsPerEdge += sw.ReduceOpsPerEdge
+		w.UpdateMACsPerVertex += sw.UpdateMACsPerVertex
+		w.WeightBytes += sw.WeightBytes
+	}
+	w.InDim = l.in
+	w.MsgDim = l.MsgDim()
+	w.OutDim = l.out
+	return w
+}

@@ -1,0 +1,72 @@
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scale/internal/graph"
+	"scale/internal/tensor"
+)
+
+// RandomFeatures returns a |V|×dim input feature matrix, deterministically
+// seeded. Magnitudes are kept small so multi-layer float32 forward passes
+// compare tightly across executors.
+func RandomFeatures(g *graph.Graph, dim int, seed int64) *tensor.Matrix {
+	return tensor.RandomMatrix(rand.New(rand.NewSource(seed)), g.NumVertices(), dim, 0.5)
+}
+
+// Forward runs the golden reference forward pass of model m over graph g with
+// input features x (|V|×InDim) and returns the per-layer outputs. This
+// executor is deliberately the most direct possible translation of Eq. 1–2:
+// every accelerator's functional path is validated against it.
+func Forward(m *Model, g *graph.Graph, x *tensor.Matrix) ([]*tensor.Matrix, error) {
+	if x.Rows != g.NumVertices() {
+		return nil, fmt.Errorf("gnn: features have %d rows, graph has %d vertices", x.Rows, g.NumVertices())
+	}
+	if x.Cols != m.InDim() {
+		return nil, fmt.Errorf("gnn: features have %d cols, model wants %d", x.Cols, m.InDim())
+	}
+	outs := make([]*tensor.Matrix, 0, len(m.Layers))
+	h := x
+	for li, l := range m.Layers {
+		next, err := ForwardLayer(l, g, h)
+		if err != nil {
+			return nil, fmt.Errorf("gnn: layer %d: %w", li, err)
+		}
+		outs = append(outs, next)
+		h = next
+	}
+	return outs, nil
+}
+
+// ForwardLayer runs one layer of the golden reference.
+func ForwardLayer(l Layer, g *graph.Graph, h *tensor.Matrix) (*tensor.Matrix, error) {
+	if h.Cols != l.InDim() {
+		return nil, fmt.Errorf("input dim %d != layer dim %d", h.Cols, l.InDim())
+	}
+	psrc := l.PrepareSources(h)
+	pdst := l.PrepareDest(h)
+	kind := l.Reduce()
+	width := kind.AccWidth(l.MsgDim())
+	out := tensor.NewMatrix(h.Rows, l.OutDim())
+	msg := make([]float32, width)
+	acc := make([]float32, width)
+	for v := 0; v < g.NumVertices(); v++ {
+		nbrs := g.InNeighbors(v)
+		for i := range acc {
+			acc[i] = 0
+		}
+		var pdstRow []float32
+		if pdst != nil {
+			pdstRow = pdst.Row(v)
+		}
+		for _, u := range nbrs {
+			ctx := EdgeContext{Src: int(u), Dst: v, SrcDeg: g.InDegree(int(u)), DstDeg: len(nbrs)}
+			l.MessageInto(msg, psrc.Row(int(u)), pdstRow, ctx)
+			kind.Accumulate(acc, msg)
+		}
+		agg := kind.Finalize(acc, l.MsgDim(), len(nbrs))
+		copy(out.Row(v), l.Update(h.Row(v), agg))
+	}
+	return out, nil
+}

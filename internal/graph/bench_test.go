@@ -1,0 +1,23 @@
+package graph
+
+import "testing"
+
+func BenchmarkBuildCitation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CitationLike(2708, 10556, int64(i))
+	}
+}
+
+func BenchmarkSyntheticProfileReddit(b *testing.B) {
+	d := MustByName("reddit")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SyntheticProfile(d.Name, d.Vertices, d.Edges, d.Skew, int64(i))
+	}
+}
+
+func BenchmarkRMAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RMAT(12, 1<<15, int64(i))
+	}
+}

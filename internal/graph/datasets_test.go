@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 5 {
+		t.Fatalf("expected 5 datasets, got %v", names)
+	}
+	if len(sortedRegistryNames()) != 5 {
+		t.Fatal("registry size mismatch")
+	}
+	for _, n := range names {
+		d, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Layers() != 2 {
+			t.Fatalf("%s: expected 2-layer dims, got %v", n, d.FeatureDims)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustByName("bogus")
+}
+
+// Table II anchor: the full-size profiles must match the published vertex,
+// edge, and average-degree figures exactly (counts) or closely (avg degree).
+func TestProfilesMatchTableII(t *testing.T) {
+	want := map[string]struct {
+		v   int
+		e   int64
+		avg float64
+	}{
+		"cora":     {2708, 10556, 3.9},
+		"citeseer": {3327, 9104, 2.7},
+		"pubmed":   {19717, 88648, 4.5},
+		"nell":     {65755, 251550, 3.8},
+		"reddit":   {232965, 114615892, 492},
+	}
+	for name, w := range want {
+		d := MustByName(name)
+		p := d.Profile()
+		if p.NumVertices() != w.v {
+			t.Errorf("%s: |V| = %d, want %d", name, p.NumVertices(), w.v)
+		}
+		if p.NumEdges() != w.e {
+			t.Errorf("%s: |E| = %d, want %d", name, p.NumEdges(), w.e)
+		}
+		if math.Abs(p.AvgDegree()-w.avg)/w.avg > 0.05 {
+			t.Errorf("%s: avg degree %.2f, want ~%.1f", name, p.AvgDegree(), w.avg)
+		}
+	}
+}
+
+func TestFeatureDimsMatchTableII(t *testing.T) {
+	checks := map[string][]int{
+		"cora":     {1433, 16, 7},
+		"citeseer": {3703, 16, 6},
+		"pubmed":   {500, 16, 3},
+		"nell":     {61278, 64, 210},
+		"reddit":   {602, 64, 41},
+	}
+	for name, dims := range checks {
+		d := MustByName(name)
+		if len(d.FeatureDims) != len(dims) {
+			t.Fatalf("%s dims %v", name, d.FeatureDims)
+		}
+		for i := range dims {
+			if d.FeatureDims[i] != dims[i] {
+				t.Errorf("%s dim[%d] = %d, want %d", name, i, d.FeatureDims[i], dims[i])
+			}
+		}
+	}
+}
+
+func TestBuildSmallDatasets(t *testing.T) {
+	for _, name := range []string{"cora", "citeseer"} {
+		d := MustByName(name)
+		g := d.Build()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumVertices() != d.Vertices {
+			t.Fatalf("%s: built |V| = %d, want %d", name, g.NumVertices(), d.Vertices)
+		}
+	}
+}
+
+func TestBuildScaledLargeDatasets(t *testing.T) {
+	for _, name := range []string{"nell", "reddit"} {
+		d := MustByName(name)
+		g := d.Build()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumVertices() >= d.Vertices {
+			t.Fatalf("%s: scaled build should be smaller than full (%d)", name, g.NumVertices())
+		}
+		if g.NumVertices() < 100 {
+			t.Fatalf("%s: scaled build implausibly small: %d", name, g.NumVertices())
+		}
+	}
+}
+
+func TestRedditProfileSkewAndDegree(t *testing.T) {
+	d := MustByName("reddit")
+	p := d.Profile()
+	st := Stats(p)
+	if st.Mean < 400 || st.Mean > 600 {
+		t.Fatalf("reddit mean degree %.1f outside expected band", st.Mean)
+	}
+	// Paper: Reddit shows high degree regularity relative to Nell.
+	nell := Stats(MustByName("nell").Profile())
+	if st.Gini >= nell.Gini {
+		t.Fatalf("reddit gini %.3f should be below nell %.3f", st.Gini, nell.Gini)
+	}
+}
+
+func TestScaledDims(t *testing.T) {
+	d := MustByName("cora")
+	dims := d.ScaledDims(0.01)
+	if dims[0] != 14 || dims[1] != 2 || dims[2] != 2 {
+		t.Fatalf("ScaledDims = %v", dims)
+	}
+}
+
+func TestBuildAtFloor(t *testing.T) {
+	d := MustByName("cora")
+	g := d.BuildAt(0.0001)
+	if g.NumVertices() < 8 {
+		t.Fatalf("BuildAt floor violated: %d", g.NumVertices())
+	}
+}

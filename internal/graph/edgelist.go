@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseEdgeList reads a whitespace-separated edge list ("src dst" per line,
+// the SNAP/Graph500 text convention) and builds a graph. Lines starting with
+// '#' or '%' are comments; blank lines are skipped; vertex ids may be any
+// non-negative integers (the vertex count is max id + 1). Set undirected to
+// insert both directions.
+func ParseEdgeList(r io.Reader, name string, undirected bool) (*Graph, error) {
+	type edge struct{ src, dst int }
+	var edges []edge
+	maxID := -1
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want \"src dst\", got %q", lineNo, line)
+		}
+		src, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source %q", lineNo, fields[0])
+		}
+		dst, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad destination %q", lineNo, fields[1])
+		}
+		if src < 0 || dst < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		edges = append(edges, edge{src, dst})
+		if src > maxID {
+			maxID = src
+		}
+		if dst > maxID {
+			maxID = dst
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	b := NewBuilder(maxID + 1)
+	for _, e := range edges {
+		if undirected {
+			b.AddUndirected(e.src, e.dst)
+		} else {
+			b.AddEdge(e.src, e.dst)
+		}
+	}
+	return b.Build(name), nil
+}
+
+// WriteEdgeList writes g as a directed edge list, the inverse of
+// ParseEdgeList(..., false). Edges are emitted destination-major in
+// adjacency order, preceded by a comment header.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %d vertices, %d directed edges\n", g.Name(), g.NumVertices(), g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.InNeighbors(v) {
+			fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,47 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseEdgeList: the parser must never panic and every accepted graph
+// must satisfy the structural invariants.
+func FuzzParseEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n5 5\n")
+	f.Add("")
+	f.Add("999999 0\n")
+	f.Add("1 2 3 extra fields\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseEdgeList(strings.NewReader(input), "fuzz", false)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails invariants: %v", err)
+		}
+	})
+}
+
+// FuzzDecode: the binary decoder must reject corrupt streams without
+// panicking, and accepted graphs must validate.
+func FuzzDecode(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Encode(&seed, Path(5)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("SCG1garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoded graph fails invariants: %v", err)
+		}
+	})
+}

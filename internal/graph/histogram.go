@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DegreeHistogram is a logarithmic-bucket degree distribution: bucket i
+// counts vertices with degree in [2^(i-1), 2^i) (bucket 0 counts degree 0).
+type DegreeHistogram struct {
+	Buckets []int64
+	Total   int64
+}
+
+// HistogramOf builds the histogram of a profile's degree sequence.
+func HistogramOf(p *Profile) DegreeHistogram {
+	h := DegreeHistogram{Total: int64(len(p.Degrees))}
+	for _, d := range p.Degrees {
+		b := bucketOf(int(d))
+		for len(h.Buckets) <= b {
+			h.Buckets = append(h.Buckets, 0)
+		}
+		h.Buckets[b]++
+	}
+	return h
+}
+
+func bucketOf(d int) int {
+	if d <= 0 {
+		return 0
+	}
+	b := 1
+	for v := 1; v < d; v <<= 1 {
+		b++
+	}
+	return b
+}
+
+// bucketLabel names bucket i's degree range.
+func bucketLabel(i int) string {
+	switch i {
+	case 0:
+		return "0"
+	case 1:
+		return "1"
+	default:
+		// Bucket i (i ≥ 2) covers degrees in (2^(i−2), 2^(i−1)].
+		return fmt.Sprintf("%d-%d", 1<<(i-2)+1, 1<<(i-1))
+	}
+}
+
+// String renders the histogram as one bar per bucket.
+func (h DegreeHistogram) String() string {
+	var b strings.Builder
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		width := int(64 * c / h.Total)
+		fmt.Fprintf(&b, "%12s %9d %s\n", bucketLabel(i), c, strings.Repeat("#", width))
+	}
+	return b.String()
+}
+
+// Percentile returns the q-quantile (0 ≤ q ≤ 1) of the degree sequence by
+// nearest-rank; the workload-tail statistic that determines how far the
+// first-fit target must stretch to absorb hubs.
+func Percentile(p *Profile, q float64) int {
+	n := len(p.Degrees)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]int32, n)
+	copy(sorted, p.Degrees)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if q <= 0 {
+		return int(sorted[0])
+	}
+	if q >= 1 {
+		return int(sorted[n-1])
+	}
+	idx := int(q*float64(n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return int(sorted[idx])
+}

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 3, 4: 3, 5: 4, 8: 4, 9: 5, 16: 5, 17: 6}
+	for d, want := range cases {
+		if got := bucketOf(d); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestHistogramCountsEverything(t *testing.T) {
+	p := NewProfile("h", []int32{0, 1, 1, 2, 3, 4, 8, 9, 100})
+	h := HistogramOf(p)
+	var sum int64
+	for _, c := range h.Buckets {
+		sum += c
+	}
+	if sum != h.Total || sum != 9 {
+		t.Fatalf("histogram lost vertices: sum=%d total=%d", sum, h.Total)
+	}
+	if h.Buckets[0] != 1 || h.Buckets[1] != 2 {
+		t.Fatalf("low buckets: %v", h.Buckets)
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Fatal("render should contain bars")
+	}
+}
+
+func TestBucketLabels(t *testing.T) {
+	if bucketLabel(0) != "0" || bucketLabel(1) != "1" {
+		t.Fatal("trivial labels wrong")
+	}
+	if bucketLabel(3) != "3-4" || bucketLabel(4) != "5-8" {
+		t.Fatalf("range labels: %s %s", bucketLabel(3), bucketLabel(4))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	p := NewProfile("p", []int32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if Percentile(p, 0) != 1 || Percentile(p, 1) != 10 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Percentile(p, 0.5); got != 5 {
+		t.Fatalf("median = %d", got)
+	}
+	if got := Percentile(p, 0.9); got != 9 {
+		t.Fatalf("p90 = %d", got)
+	}
+	if Percentile(NewProfile("e", nil), 0.5) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+// Power-law sanity: the registry's skewed datasets must have p99 far above
+// the median — the structural fact the scheduler contends with.
+func TestRegistryTails(t *testing.T) {
+	nell := MustByName("nell").Profile()
+	if p99, med := Percentile(nell, 0.99), Percentile(nell, 0.5); p99 < 5*med+5 {
+		t.Fatalf("nell tail too light: p99=%d median=%d", p99, med)
+	}
+}

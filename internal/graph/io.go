@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary format: magic, name, |V|, |E|, rowPtr, colIdx — little endian.
+// Used by cmd/scale-datasets to cache generated graphs between runs.
+var magic = [4]byte{'S', 'C', 'G', '1'}
+
+// Encode writes g to w in the package's binary format.
+func Encode(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	name := []byte(g.name)
+	if err := binary.Write(bw, binary.LittleEndian, int32(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(g.NumVertices())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(g.NumEdges())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.rowPtr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.colIdx); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Decode reads a graph previously written by Encode and validates it.
+func Decode(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("graph: bad magic %q", m)
+	}
+	var nameLen int32
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen < 0 || nameLen > 1<<20 {
+		return nil, fmt.Errorf("graph: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var v, e int64
+	if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &e); err != nil {
+		return nil, err
+	}
+	if v < 0 || e < 0 || v > 1<<34 || e > 1<<38 {
+		return nil, fmt.Errorf("graph: implausible sizes |V|=%d |E|=%d", v, e)
+	}
+	g := &Graph{
+		name:   string(name),
+		rowPtr: make([]int32, v+1),
+		colIdx: make([]int32, e),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.rowPtr); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.colIdx); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

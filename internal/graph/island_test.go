@@ -1,0 +1,71 @@
+package graph
+
+import "testing"
+
+func TestIslandizeCoversAllVertices(t *testing.T) {
+	g := CommunityGraph(600, 12, 20, 3)
+	islands, stats := Islandize(g, 64)
+	seen := map[int32]bool{}
+	count := 0
+	for _, is := range islands {
+		for _, v := range is.Vertices {
+			if seen[v] {
+				t.Fatalf("vertex %d in two islands", v)
+			}
+			seen[v] = true
+			count++
+		}
+		if len(is.Vertices) > 64 {
+			t.Fatalf("island size %d exceeds cap", len(is.Vertices))
+		}
+	}
+	if count != g.NumVertices() {
+		t.Fatalf("covered %d of %d vertices", count, g.NumVertices())
+	}
+	if stats.Coverage != 1 || stats.Islands != len(islands) {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+// Community graphs islandize well; random graphs poorly — the contrast
+// I-GCN's dense-region extraction depends on.
+func TestIslandLocalityContrast(t *testing.T) {
+	community := CommunityGraph(800, 10, 24, 5)
+	_, cs := Islandize(community, 128)
+	random := ErdosRenyi(800, 800*12, 5)
+	_, rs := Islandize(random, 128)
+	if cs.Locality <= rs.Locality {
+		t.Fatalf("community locality %.3f should beat random %.3f", cs.Locality, rs.Locality)
+	}
+	if cs.Locality < 0.3 {
+		t.Fatalf("community locality %.3f implausibly low", cs.Locality)
+	}
+}
+
+func TestIslandEdgeAccounting(t *testing.T) {
+	// A 4-clique islandized whole: every edge is internal.
+	g := Complete(4)
+	islands, stats := Islandize(g, 8)
+	if len(islands) != 1 {
+		t.Fatalf("islands = %d", len(islands))
+	}
+	if islands[0].InternalEdges != int64(g.NumEdges()) || stats.Locality != 1 {
+		t.Fatalf("clique should be fully internal: %+v %+v", islands[0], stats)
+	}
+	// Cap of 1: no edge can be internal.
+	_, solo := Islandize(g, 1)
+	if solo.Locality != 0 {
+		t.Fatalf("singleton islands can't have internal edges: %+v", solo)
+	}
+}
+
+func TestIslandizeEmptyAndDegenerate(t *testing.T) {
+	empty := NewBuilder(0).Build("e")
+	islands, stats := Islandize(empty, 8)
+	if len(islands) != 0 || stats.Locality != 0 {
+		t.Fatalf("empty graph: %v %+v", islands, stats)
+	}
+	if _, st := Islandize(Path(5), 0); st.Islands != 5 {
+		t.Fatalf("cap floor should make singletons: %+v", st)
+	}
+}

@@ -1,0 +1,67 @@
+package graph
+
+import "testing"
+
+func TestRMATSizes(t *testing.T) {
+	g := RMAT(10, 8192, 1)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("|V| = %d, want 1024", g.NumVertices())
+	}
+	if g.NumEdges() != 8192 {
+		t.Fatalf("|E| = %d, want 8192", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATNoSelfLoops(t *testing.T) {
+	g := RMAT(8, 2048, 5)
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.InNeighbors(v) {
+			if int(u) == v {
+				t.Fatalf("self-loop at %d", v)
+			}
+		}
+	}
+}
+
+func TestRMATSkewedVsUniform(t *testing.T) {
+	// The default quadrant probabilities must yield a heavier tail than
+	// a uniform split (a=b=c=d=0.25, which degenerates to Erdős–Rényi).
+	skewed := Stats(ProfileOf(RMAT(11, 1<<15, 2)))
+	uniform := Stats(ProfileOf(RMATWith(11, 1<<15, 0.25, 0.25, 0.25, 2)))
+	if skewed.Gini <= uniform.Gini {
+		t.Fatalf("default RMAT gini %.3f should exceed uniform %.3f", skewed.Gini, uniform.Gini)
+	}
+	if skewed.Max <= 2*uniform.Max {
+		t.Fatalf("default RMAT max degree %d should dwarf uniform %d", skewed.Max, uniform.Max)
+	}
+}
+
+func TestRMATDeterminism(t *testing.T) {
+	a := RMAT(8, 1000, 9)
+	b := RMAT(8, 1000, 9)
+	for v := 0; v < a.NumVertices(); v++ {
+		an, bn := a.InNeighbors(v), b.InNeighbors(v)
+		if len(an) != len(bn) {
+			t.Fatal("RMAT not deterministic")
+		}
+	}
+}
+
+func TestRMATBadProbabilitiesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RMATWith(4, 10, 0.6, 0.3, 0.3, 1)
+}
+
+func TestRMATMinScale(t *testing.T) {
+	g := RMATWith(0, 4, 0.25, 0.25, 0.25, 1)
+	if g.NumVertices() != 2 {
+		t.Fatalf("scale floor: |V| = %d", g.NumVertices())
+	}
+}

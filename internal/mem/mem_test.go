@@ -1,0 +1,98 @@
+package mem
+
+import "testing"
+
+func TestStreamCycles(t *testing.T) {
+	h := DefaultHBM()
+	if h.StreamCycles(0) != 0 {
+		t.Fatal("zero bytes must cost zero")
+	}
+	// 256 KB at 256 B/cycle = 1024 cycles + 100 latency.
+	if got := h.StreamCycles(256 << 10); got != 1124 {
+		t.Fatalf("StreamCycles = %d, want 1124", got)
+	}
+	// Sub-burst transfers round up to one burst.
+	if got := h.StreamCycles(1); got != 100+0 {
+		// 64 bytes / 256 B-per-cycle = 0.25 → int64 truncates to 0.
+		t.Fatalf("tiny stream = %d", got)
+	}
+}
+
+func TestStreamMonotone(t *testing.T) {
+	h := DefaultHBM()
+	prev := int64(-1)
+	for _, n := range []int64{64, 1024, 1 << 20, 1 << 28} {
+		c := h.StreamCycles(n)
+		if c <= prev {
+			t.Fatalf("StreamCycles not monotone at %d", n)
+		}
+		prev = c
+	}
+}
+
+func TestRandomAccessLatencyBound(t *testing.T) {
+	h := DefaultHBM()
+	// 1000 independent 4-byte accesses: each rounds to a 64 B burst =
+	// 64000 bytes = 250 cycles bandwidth-bound, but latency-bound cost is
+	// 100 + 1000 = 1100, which dominates.
+	if got := h.RandomAccessCycles(1000, 4); got != 1100 {
+		t.Fatalf("RandomAccessCycles = %d, want 1100", got)
+	}
+	// Large per-access transfers become bandwidth-bound: 1 KB accesses
+	// need 4 cycles of channel time each, exceeding the 1/cycle issue rate.
+	n := int64(10_000_000)
+	want := int64(float64(n*1024) / 256)
+	if got := h.RandomAccessCycles(n, 1024); got != want {
+		t.Fatalf("bw-bound = %d, want %d", got, want)
+	}
+	if h.RandomAccessCycles(0, 64) != 0 {
+		t.Fatal("zero accesses must be free")
+	}
+}
+
+func TestRandomSlowerThanStream(t *testing.T) {
+	h := DefaultHBM()
+	n := int64(100_000)
+	if h.RandomAccessCycles(n, 4) <= h.StreamCycles(n*4) {
+		t.Fatal("random access should cost more than streaming the same bytes")
+	}
+}
+
+func TestGlobalBufferFitsAndPasses(t *testing.T) {
+	g := DefaultGlobalBuffer()
+	if !g.Fits(4 << 20) {
+		t.Fatal("4MB must fit in 4MB")
+	}
+	if g.Fits(4<<20 + 1) {
+		t.Fatal("over-capacity must not fit")
+	}
+	if g.Passes(1<<20, 100<<20) != 1 {
+		t.Fatal("resident-fit should need one pass")
+	}
+	if p := g.Passes(9<<20, 100<<20); p != 3 {
+		t.Fatalf("Passes = %d, want 3 tiles", p)
+	}
+}
+
+func TestGlobalBufferReadCycles(t *testing.T) {
+	g := DefaultGlobalBuffer()
+	// 32 banks × 16 B = 512 B/cycle.
+	if got := g.ReadCycles(512 * 10); got != 10 {
+		t.Fatalf("ReadCycles = %d, want 10", got)
+	}
+	if got := g.ReadCycles(1); got != 1 {
+		t.Fatalf("ReadCycles(1) = %d, want 1", got)
+	}
+}
+
+func TestTrafficAccumulation(t *testing.T) {
+	var a Traffic
+	a.Add(Traffic{DRAMReadBytes: 10, GBWriteBytes: 5, LocalReadBytes: 3, MACs: 7})
+	a.Add(Traffic{DRAMWriteBytes: 2, GBReadBytes: 1, LocalWriteBytes: 4, MACs: 3})
+	if a.DRAMBytes() != 12 || a.GBBytes() != 6 || a.LocalBytes() != 7 || a.MACs != 10 {
+		t.Fatalf("accumulation wrong: %+v", a)
+	}
+	if a.String() == "" {
+		t.Fatal("empty traffic string")
+	}
+}

@@ -1,0 +1,106 @@
+// Package noc models the on-chip interconnects that differentiate the
+// accelerators (§II-B, Table I): the hop count and per-transfer latency of
+// moving an intermediate result between compute engines. SCALE's ring moves
+// every operand exactly one hop; baseline architectures pay multi-stage or
+// crossbar traversals that scale with network size, which is the root of the
+// exposed-communication growth shown in Fig. 1(b).
+package noc
+
+import "fmt"
+
+// Kind identifies an interconnect topology.
+type Kind int
+
+const (
+	// Ring is SCALE's segmented ring: neighbor links, one hop per move.
+	Ring Kind = iota
+	// Crossbar is a monolithic crossbar: constant hops but quadratic
+	// area; arbitration conflicts grow with port count.
+	Crossbar
+	// Benes is a multistage rearrangeable network with 2·log2(N) stages.
+	Benes
+	// AllToAll is AWB-GCN's full connectivity used for workload
+	// redistribution.
+	AllToAll
+)
+
+// String names the topology.
+func (k Kind) String() string {
+	switch k {
+	case Ring:
+		return "ring"
+	case Crossbar:
+		return "crossbar"
+	case Benes:
+		return "benes"
+	case AllToAll:
+		return "all-to-all"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Network models a topology instance connecting n endpoints.
+type Network struct {
+	Kind Kind
+	N    int
+	// CyclesPerHop is the link traversal latency (register-to-register).
+	CyclesPerHop int
+}
+
+// New returns a network of kind k over n endpoints with 1-cycle hops.
+func New(k Kind, n int) *Network {
+	if n < 1 {
+		n = 1
+	}
+	return &Network{Kind: k, N: n, CyclesPerHop: 1}
+}
+
+// Hops returns the hop count for one transfer between typical endpoints.
+// For the ring this is SCALE's single neighbor hop; for Benes it is the
+// 2·log2(N) figure quoted in §II-B; the crossbar pays a constant traversal
+// plus an arbitration term that grows logarithmically; all-to-all pays the
+// full wire plus serialization pressure modeled as log2(N).
+func (nw *Network) Hops() int {
+	switch nw.Kind {
+	case Ring:
+		return 1
+	case Crossbar:
+		return 2 + ceilLog2(nw.N)/2
+	case Benes:
+		return 2 * ceilLog2(nw.N)
+	case AllToAll:
+		return 1 + ceilLog2(nw.N)
+	}
+	return 1
+}
+
+// TransferCycles returns the latency in cycles of moving one operand.
+func (nw *Network) TransferCycles() int64 {
+	return int64(nw.Hops()) * int64(nw.CyclesPerHop)
+}
+
+// ExposedCommunication estimates the fraction of communication latency that
+// cannot be hidden behind computation when each intermediate result costs
+// computeCycles of downstream work (§II-B): per-transfer latency beyond the
+// compute time is exposed. Returns a value in [0, 1] as a fraction of total
+// pipeline time attributable to waiting on the network.
+func (nw *Network) ExposedCommunication(computeCycles int64) float64 {
+	comm := nw.TransferCycles()
+	if comm <= computeCycles {
+		return 0
+	}
+	exposed := comm - computeCycles
+	return float64(exposed) / float64(comm+computeCycles)
+}
+
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	l, v := 0, 1
+	for v < n {
+		v <<= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,80 @@
+package noc
+
+import "testing"
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 128: 7, 129: 8, 1024: 10}
+	for n, want := range cases {
+		if got := ceilLog2(n); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRingIsOneHop(t *testing.T) {
+	for _, n := range []int{2, 64, 1024} {
+		if h := New(Ring, n).Hops(); h != 1 {
+			t.Fatalf("ring hops at N=%d: %d", n, h)
+		}
+	}
+}
+
+func TestBenesMatchesPaperFormula(t *testing.T) {
+	// §II-B: in a Benes network, the hop count is 2·log2(N).
+	if h := New(Benes, 128).Hops(); h != 14 {
+		t.Fatalf("benes(128) hops = %d, want 14", h)
+	}
+	if h := New(Benes, 1024).Hops(); h != 20 {
+		t.Fatalf("benes(1024) hops = %d, want 20", h)
+	}
+}
+
+func TestHopGrowthOrdering(t *testing.T) {
+	// At scale, ring < crossbar < all-to-all < benes in traversal cost.
+	n := 512
+	ring := New(Ring, n).Hops()
+	xbar := New(Crossbar, n).Hops()
+	benes := New(Benes, n).Hops()
+	if !(ring < xbar && xbar < benes) {
+		t.Fatalf("ordering violated: ring=%d xbar=%d benes=%d", ring, xbar, benes)
+	}
+}
+
+func TestExposedCommunicationGrowsWithN(t *testing.T) {
+	// §II-B: computation per intermediate result is constant while network
+	// latency grows, so exposed communication appears beyond some size.
+	const compute = 8
+	small := New(Benes, 16).ExposedCommunication(compute)
+	large := New(Benes, 1024).ExposedCommunication(compute)
+	if small > large {
+		t.Fatalf("exposure should grow: %f -> %f", small, large)
+	}
+	if New(Ring, 1024).ExposedCommunication(compute) != 0 {
+		t.Fatal("ring must fully hide 1-hop communication behind compute")
+	}
+}
+
+func TestTransferCycles(t *testing.T) {
+	nw := New(Benes, 8)
+	nw.CyclesPerHop = 2
+	if got := nw.TransferCycles(); got != 12 {
+		t.Fatalf("TransferCycles = %d, want 12", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{Ring, Crossbar, Benes, AllToAll} {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still stringify")
+	}
+}
+
+func TestDegenerateN(t *testing.T) {
+	if New(Ring, 0).N != 1 {
+		t.Fatal("N floor violated")
+	}
+}

@@ -1,0 +1,79 @@
+// Package quant implements degree-based feature quantization in the style
+// of DBQ (§VIII-B): low-degree vertices — whose aggregated representations
+// are least smoothed and most error-tolerant in the DBQ analysis — carry
+// narrow fixed-point features, while hubs stay full precision. The paper
+// classes such techniques as orthogonal to SCALE; this package makes the
+// combination concrete by shrinking the feature-byte footprint the timing
+// and energy models charge (memory traffic is where quantization pays).
+package quant
+
+import (
+	"fmt"
+	"sort"
+
+	"scale/internal/graph"
+)
+
+// Plan assigns per-vertex feature precision.
+type Plan struct {
+	// DegreeThreshold: vertices with in-degree ≤ threshold quantize.
+	DegreeThreshold int
+	// LowBytes / HighBytes are bytes per feature element for quantized
+	// and full-precision vertices (1 = int8, 4 = float32).
+	LowBytes, HighBytes float64
+	// QuantizedFraction is the fraction of vertices quantized.
+	QuantizedFraction float64
+}
+
+// AvgBytes returns the effective bytes per feature element across vertices.
+func (p Plan) AvgBytes() float64 {
+	return p.QuantizedFraction*p.LowBytes + (1-p.QuantizedFraction)*p.HighBytes
+}
+
+// Compression returns the footprint ratio versus full precision (< 1).
+func (p Plan) Compression() float64 {
+	if p.HighBytes == 0 {
+		return 1
+	}
+	return p.AvgBytes() / p.HighBytes
+}
+
+// String summarizes the plan.
+func (p Plan) String() string {
+	return fmt.Sprintf("Quant(deg<=%d -> %.0fB: %.1f%% of vertices, avg %.2f B/elem)",
+		p.DegreeThreshold, p.LowBytes, 100*p.QuantizedFraction, p.AvgBytes())
+}
+
+// DegreeBased builds a plan quantizing the lowest-degree `quantile` of the
+// vertices to int8 (DBQ's insensitive-node selection). quantile is clamped
+// to [0, 1].
+func DegreeBased(p *graph.Profile, quantile float64) Plan {
+	if quantile < 0 {
+		quantile = 0
+	}
+	if quantile > 1 {
+		quantile = 1
+	}
+	plan := Plan{LowBytes: 1, HighBytes: 4}
+	n := len(p.Degrees)
+	if n == 0 || quantile == 0 {
+		return plan
+	}
+	sorted := make([]int32, n)
+	copy(sorted, p.Degrees)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(quantile*float64(n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	plan.DegreeThreshold = int(sorted[idx])
+	// Count the actual fraction at or below the threshold (ties included).
+	count := 0
+	for _, d := range p.Degrees {
+		if int(d) <= plan.DegreeThreshold {
+			count++
+		}
+	}
+	plan.QuantizedFraction = float64(count) / float64(n)
+	return plan
+}

@@ -1,0 +1,68 @@
+package quant
+
+import (
+	"testing"
+
+	"scale/internal/graph"
+)
+
+func TestDegreeBasedPlan(t *testing.T) {
+	p := graph.NewProfile("q", []int32{1, 1, 2, 3, 10, 20, 50, 100})
+	plan := DegreeBased(p, 0.5)
+	if plan.DegreeThreshold != 3 {
+		t.Fatalf("threshold = %d, want 3", plan.DegreeThreshold)
+	}
+	if plan.QuantizedFraction != 0.5 {
+		t.Fatalf("fraction = %v", plan.QuantizedFraction)
+	}
+	// avg = 0.5*1 + 0.5*4 = 2.5
+	if plan.AvgBytes() != 2.5 {
+		t.Fatalf("AvgBytes = %v", plan.AvgBytes())
+	}
+	if c := plan.Compression(); c != 2.5/4 {
+		t.Fatalf("Compression = %v", c)
+	}
+	if plan.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestDegreeBasedClamps(t *testing.T) {
+	p := graph.NewProfile("q", []int32{1, 2, 3, 4})
+	if got := DegreeBased(p, 0).AvgBytes(); got != 4 {
+		t.Fatalf("quantile 0 should quantize nothing: %v", got)
+	}
+	full := DegreeBased(p, 1.5) // clamped to 1
+	if full.QuantizedFraction != 1 || full.AvgBytes() != 1 {
+		t.Fatalf("quantile 1: %+v", full)
+	}
+	empty := DegreeBased(graph.NewProfile("e", nil), 0.5)
+	if empty.QuantizedFraction != 0 {
+		t.Fatalf("empty profile: %+v", empty)
+	}
+}
+
+func TestTiesIncluded(t *testing.T) {
+	// Many vertices share the threshold degree: all of them quantize.
+	p := graph.NewProfile("t", []int32{2, 2, 2, 2, 9, 9})
+	plan := DegreeBased(p, 0.3)
+	if plan.DegreeThreshold != 2 {
+		t.Fatalf("threshold = %d", plan.DegreeThreshold)
+	}
+	if plan.QuantizedFraction < 0.66 {
+		t.Fatalf("ties must be included: %v", plan.QuantizedFraction)
+	}
+}
+
+// The paper-shaped property: skewed graphs quantize most vertices at a low
+// threshold because power-law mass sits in the low degrees.
+func TestSkewedGraphsQuantizeCheaply(t *testing.T) {
+	nell := graph.MustByName("nell").Profile()
+	plan := DegreeBased(nell, 0.75)
+	if plan.DegreeThreshold > 8 {
+		t.Fatalf("power-law p75 threshold %d implausibly high", plan.DegreeThreshold)
+	}
+	if plan.Compression() > 0.5 {
+		t.Fatalf("75%% int8 should compress below 0.5: %v", plan.Compression())
+	}
+}

@@ -1,0 +1,96 @@
+package redundancy
+
+import (
+	"testing"
+
+	"scale/internal/graph"
+)
+
+// Two destinations sharing the same neighbor pair: the pair is computed once
+// and reused once.
+func TestSharedPairExtraction(t *testing.T) {
+	b := graph.NewBuilder(5)
+	// Vertices 3 and 4 both aggregate from {0, 1}.
+	b.AddEdge(0, 3)
+	b.AddEdge(1, 3)
+	b.AddEdge(0, 4)
+	b.AddEdge(1, 4)
+	g := b.Build("shared")
+	an := Analyze(g)
+	if an.TotalAggOps != 4 {
+		t.Fatalf("total = %d", an.TotalAggOps)
+	}
+	if an.Pairs != 1 {
+		t.Fatalf("pairs = %d, want 1", an.Pairs)
+	}
+	// Two occurrences save 2 ops, minus 1 for computing the pair once.
+	if an.Captured != 1 {
+		t.Fatalf("captured = %d, want 1", an.Captured)
+	}
+	if an.TheoreticalRedundant != 4 {
+		t.Fatalf("theoretical = %d, want 4", an.TheoreticalRedundant)
+	}
+}
+
+func TestNoRedundancyInPath(t *testing.T) {
+	an := Analyze(graph.Path(10))
+	if an.Captured != 0 || an.Pairs != 0 {
+		t.Fatalf("path should have no shared pairs: %+v", an)
+	}
+	if an.TheoreticalRate() != 0 {
+		t.Fatal("theoretical rate should be 0")
+	}
+}
+
+func TestApplyConservesWork(t *testing.T) {
+	g := graph.CommunityGraph(600, 12, 24, 3)
+	p, an := Apply(g)
+	if p.NumVertices() != g.NumVertices() {
+		t.Fatalf("vertex set changed: %d vs %d", p.NumVertices(), g.NumVertices())
+	}
+	want := int64(g.NumEdges()) - an.Captured
+	if p.NumEdges() != want {
+		t.Fatalf("effective agg ops = %d, want |E|-captured = %d", p.NumEdges(), want)
+	}
+	for _, d := range p.Degrees {
+		if d < 0 {
+			t.Fatal("negative effective degree")
+		}
+	}
+}
+
+// The dataset-level contrast that drives Table III: community (Reddit-like)
+// graphs expose far more redundancy than citation graphs.
+func TestCommunityVsCitationRedundancy(t *testing.T) {
+	community := Analyze(graph.MustByName("reddit").Build())
+	citation := Analyze(graph.MustByName("cora").Build())
+	if community.CapturedRate() <= citation.CapturedRate() {
+		t.Fatalf("reddit-like capture %.3f should exceed cora %.3f",
+			community.CapturedRate(), citation.CapturedRate())
+	}
+	if community.CapturedRate() < 0.08 {
+		t.Fatalf("reddit-like capture %.3f implausibly low", community.CapturedRate())
+	}
+	if community.TheoreticalRate() < community.CapturedRate() {
+		t.Fatal("theoretical must bound captured")
+	}
+	t.Logf("reddit-like: %v; cora: %v", community, citation)
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).Build("empty")
+	an := Analyze(g)
+	if an.TotalAggOps != 0 || an.CapturedRate() != 0 {
+		t.Fatalf("empty graph: %+v", an)
+	}
+	p, _ := Apply(g)
+	if p.NumVertices() != 0 {
+		t.Fatal("empty apply")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	if Analyze(graph.Star(5)).String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,32 @@
+package sched
+
+import (
+	"testing"
+
+	"scale/internal/graph"
+)
+
+// The runtime scheduling cost the §IV-B model bounds: one batch of 1024
+// vertices into 512 tasks and 32 groups with Algorithm 1.
+func BenchmarkScheduleDVSBatch(b *testing.B) {
+	p := graph.MustByName("pubmed").Profile()
+	batch := AllVertices(1024)
+	cfg := Config{NumTasks: 512, NumGroups: 32, Policy: DegreeVertexAware}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(p.Degrees, batch, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleVertexAwareFullGraph(b *testing.B) {
+	p := graph.MustByName("pubmed").Profile()
+	all := AllVertices(p.NumVertices())
+	cfg := Config{NumTasks: 512, NumGroups: 512, Policy: VertexAware}
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(p.Degrees, all, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

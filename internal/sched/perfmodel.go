@@ -1,0 +1,74 @@
+package sched
+
+import "math"
+
+// PerfModel is the §IV-B analytical model used by the task controller to
+// choose a batch size B such that task scheduling stays hidden behind task
+// aggregation (t_ts < t_agg). All times are in cycles.
+type PerfModel struct {
+	// TOCM is the on-chip memory access latency t_ocm.
+	TOCM float64
+	// TReduce is the latency of one reduce operation t_reduce.
+	TReduce float64
+	// TComm is the inter-PE communication latency t_comm (one ring hop).
+	TComm float64
+}
+
+// DefaultPerfModel returns single-cycle reduce and ring-hop latencies with a
+// 4-wide scheduling unit (t_ocm = 0.25: the task scheduler's comparators
+// operate on four table entries per cycle). The width is calibrated so that,
+// as in Fig. 16(a), every Table II dataset becomes TS-Negligible by batch
+// size ≈500 while small batches on low-degree/low-feature graphs stay
+// TS-Bound.
+func DefaultPerfModel() PerfModel {
+	return PerfModel{TOCM: 0.25, TReduce: 1, TComm: 1}
+}
+
+// SchedulingCycles returns t_ts = ((B + T_n)·log(T_n) + T_n)·t_ocm.
+func (m PerfModel) SchedulingCycles(batch, numTasks int) float64 {
+	if numTasks < 2 {
+		numTasks = 2
+	}
+	logT := math.Log2(float64(numTasks))
+	return ((float64(batch)+float64(numTasks))*logT + float64(numTasks)) * m.TOCM
+}
+
+// AggregationCycles returns
+// t_agg = (B·D_avg / T_n)·(t_reduce + t_comm)·F_n
+// for a batch of B vertices with average degree davg, T_n parallel PEs, and
+// F_n feature elements per vertex.
+func (m PerfModel) AggregationCycles(batch int, davg float64, numTasks, features int) float64 {
+	if numTasks < 1 {
+		numTasks = 1
+	}
+	return float64(batch) * davg / float64(numTasks) * (m.TReduce + m.TComm) * float64(features)
+}
+
+// Ratio returns t_ts / t_agg, the Fig. 16(a) quantity: > 1 is TS-Bound
+// (scheduling throttles the pipeline), < 1 is TS-Negligible.
+func (m PerfModel) Ratio(batch int, davg float64, numTasks, features int) float64 {
+	agg := m.AggregationCycles(batch, davg, numTasks, features)
+	if agg == 0 {
+		return math.Inf(1)
+	}
+	return m.SchedulingCycles(batch, numTasks) / agg
+}
+
+// MinBatch returns the smallest batch size (searched in powers-of-two steps
+// then refined linearly) for which scheduling is hidden (ratio < 1), capped
+// at maxBatch. Returns maxBatch if no batch satisfies the bound.
+func (m PerfModel) MinBatch(davg float64, numTasks, features, maxBatch int) int {
+	lo, hi := 1, maxBatch
+	if m.Ratio(hi, davg, numTasks, features) >= 1 {
+		return maxBatch
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.Ratio(mid, davg, numTasks, features) < 1 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

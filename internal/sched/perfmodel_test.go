@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"testing"
+
+	"scale/internal/graph"
+)
+
+func TestSchedulingCyclesFormula(t *testing.T) {
+	m := PerfModel{TOCM: 1, TReduce: 1, TComm: 1}
+	// ((B + T)·log2(T) + T)·t_ocm with B=100, T=8: (108·3 + 8) = 332.
+	if got := m.SchedulingCycles(100, 8); got != 332 {
+		t.Fatalf("SchedulingCycles = %v, want 332", got)
+	}
+}
+
+func TestAggregationCyclesFormula(t *testing.T) {
+	m := PerfModel{TOCM: 1, TReduce: 1, TComm: 1}
+	// B·D/T·(tr+tc)·F = 100·4/8·2·16 = 1600.
+	if got := m.AggregationCycles(100, 4, 8, 16); got != 1600 {
+		t.Fatalf("AggregationCycles = %v, want 1600", got)
+	}
+}
+
+func TestRatioMonotoneDecreasing(t *testing.T) {
+	m := DefaultPerfModel()
+	prev := m.Ratio(10, 4.5, 512, 500)
+	for _, b := range []int{50, 100, 500, 2000} {
+		r := m.Ratio(b, 4.5, 512, 500)
+		if r >= prev {
+			t.Fatalf("ratio not decreasing at B=%d: %v >= %v", b, r, prev)
+		}
+		prev = r
+	}
+}
+
+// Fig. 16(a) anchor: with the §VII-A configuration (512 PEs), every Table II
+// dataset is TS-Negligible at batch size > 500 on its first layer, and the
+// low-feature/low-degree regime is TS-Bound at small batches.
+func TestBatch500SufficesForAllDatasets(t *testing.T) {
+	m := DefaultPerfModel()
+	for _, d := range graph.AllDatasets() {
+		r := m.Ratio(512, d.AvgDegree, 512, d.FeatureDims[0])
+		if r >= 1 {
+			t.Errorf("%s: ratio at B=512 is %.2f, want < 1", d.Name, r)
+		}
+	}
+	// PubMed (degree 4.5, features 500) must be TS-Bound at B=64:
+	// this is the transition Fig. 16(a) plots.
+	if r := m.Ratio(64, 4.5, 512, 500); r <= 1 {
+		t.Errorf("small-batch PubMed ratio %.2f, want > 1 (TS-Bound)", r)
+	}
+}
+
+func TestMinBatch(t *testing.T) {
+	m := DefaultPerfModel()
+	b := m.MinBatch(4.5, 512, 500, 1<<16)
+	if b <= 1 || b > 1024 {
+		t.Fatalf("MinBatch = %d, expected a few hundred", b)
+	}
+	if r := m.Ratio(b, 4.5, 512, 500); r >= 1 {
+		t.Fatalf("MinBatch result not hidden: ratio %.3f", r)
+	}
+	if b > 1 {
+		if r := m.Ratio(b-1, 4.5, 512, 500); r < 1 {
+			t.Fatalf("MinBatch not minimal: B-1 ratio %.3f", r)
+		}
+	}
+	// Infeasible case returns the cap.
+	if got := m.MinBatch(0.001, 4096, 2, 4096); got != 4096 {
+		t.Fatalf("infeasible MinBatch = %d, want cap", got)
+	}
+}
+
+func TestZeroAggregation(t *testing.T) {
+	m := DefaultPerfModel()
+	if r := m.Ratio(0, 4, 8, 16); r <= 1 {
+		t.Fatal("zero aggregation should be TS-bound (infinite ratio)")
+	}
+}

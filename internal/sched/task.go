@@ -1,0 +1,103 @@
+// Package sched implements the paper's degree and vertex-aware task
+// scheduling (Algorithm 1, §IV) together with the pure degree-aware and pure
+// vertex-aware policies used in the Fig. 13(b) ablation, and the §IV-B
+// analytical model of scheduling latency versus aggregation latency that
+// bounds the batch size (Fig. 16a).
+//
+// A Task is an edge-budgeted bin of vertices: its reduce operations run on
+// one PE during the aggregation phase. A TaskGroup is the set of tasks
+// assigned to one PE ring; the group's vertex count determines the ring's
+// update-phase workload.
+package sched
+
+import "fmt"
+
+// Task is a bin of vertices whose aggregations execute on one PE.
+type Task struct {
+	ID       int
+	Vertices []int32 // vertex ids
+	Edges    int64   // total in-degree of the task's vertices
+}
+
+// NumVertices returns the number of vertices in the task.
+func (t *Task) NumVertices() int { return len(t.Vertices) }
+
+// TaskGroup is the set of tasks mapped onto one PE ring.
+type TaskGroup struct {
+	ID    int
+	Tasks []*Task
+}
+
+// Edges returns the group's total aggregation workload.
+func (g *TaskGroup) Edges() int64 {
+	var e int64
+	for _, t := range g.Tasks {
+		e += t.Edges
+	}
+	return e
+}
+
+// NumVertices returns the group's total update workload.
+func (g *TaskGroup) NumVertices() int {
+	n := 0
+	for _, t := range g.Tasks {
+		n += len(t.Vertices)
+	}
+	return n
+}
+
+// String summarizes the group.
+func (g *TaskGroup) String() string {
+	return fmt.Sprintf("Group(%d: tasks=%d vertices=%d edges=%d)", g.ID, len(g.Tasks), g.NumVertices(), g.Edges())
+}
+
+// Balance quantifies workload balance across a slice of per-unit loads as
+// mean/max — exactly the PE-utilization metric of Fig. 13: 1.0 is perfect
+// balance, lower values mean idle units waiting on the most loaded one.
+func Balance(loads []int64) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	var sum, max int64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if max == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(loads))
+	return mean / float64(max)
+}
+
+// EdgeBalance returns the aggregation-phase balance across groups.
+func EdgeBalance(groups []*TaskGroup) float64 {
+	loads := make([]int64, len(groups))
+	for i, g := range groups {
+		loads[i] = g.Edges()
+	}
+	return Balance(loads)
+}
+
+// VertexBalance returns the update-phase balance across groups.
+func VertexBalance(groups []*TaskGroup) float64 {
+	loads := make([]int64, len(groups))
+	for i, g := range groups {
+		loads[i] = int64(g.NumVertices())
+	}
+	return Balance(loads)
+}
+
+// TaskEdgeBalance returns the aggregation balance across individual tasks
+// (per-PE rather than per-ring granularity).
+func TaskEdgeBalance(groups []*TaskGroup) float64 {
+	var loads []int64
+	for _, g := range groups {
+		for _, t := range g.Tasks {
+			loads = append(loads, t.Edges)
+		}
+	}
+	return Balance(loads)
+}

@@ -1,0 +1,26 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandomMatrix(rng, 128, 128, 1)
+	y := RandomMatrix(rng, 128, 128, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkVecMat1433x16(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	w := RandomMatrix(rng, 1433, 16, 1) // the Cora layer-1 GEMV
+	x := RandomVector(rng, 1433, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		VecMat(x, w)
+	}
+}

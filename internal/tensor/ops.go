@@ -1,0 +1,208 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul returns a·b. Panics on inner-dimension mismatch.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns a·x for a Rows×Cols matrix and a Cols-vector.
+func MatVec(a *Matrix, x []float32) []float32 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("tensor: matvec %dx%d · %d", a.Rows, a.Cols, len(x)))
+	}
+	out := make([]float32, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out
+}
+
+// VecMat returns xᵀ·a for a Rows-vector and a Rows×Cols matrix. This is the
+// orientation the accelerators use (feature-vector times weight matrix).
+func VecMat(x []float32, a *Matrix) []float32 {
+	if a.Rows != len(x) {
+		panic(fmt.Sprintf("tensor: vecmat %d · %dx%d", len(x), a.Rows, a.Cols))
+	}
+	out := make([]float32, a.Cols)
+	for k, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := a.Row(k)
+		for j, av := range row {
+			out[j] += xv * av
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: dot %d · %d", len(a), len(b)))
+	}
+	var s float32
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: axpy %d into %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Add returns a+b as a new vector.
+func Add(a, b []float32) []float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: add %d + %d", len(a), len(b)))
+	}
+	out := make([]float32, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Scale multiplies x by alpha in place and returns x.
+func Scale(alpha float32, x []float32) []float32 {
+	for i := range x {
+		x[i] *= alpha
+	}
+	return x
+}
+
+// Hadamard returns the elementwise product of a and b.
+func Hadamard(a, b []float32) []float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: hadamard %d ⊙ %d", len(a), len(b)))
+	}
+	out := make([]float32, len(a))
+	for i := range a {
+		out[i] = a[i] * b[i]
+	}
+	return out
+}
+
+// Concat returns the concatenation [a ; b].
+func Concat(a, b []float32) []float32 {
+	out := make([]float32, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// MaxElems writes elementwise max(acc, x) into acc.
+func MaxElems(acc, x []float32) {
+	if len(acc) != len(x) {
+		panic(fmt.Sprintf("tensor: max %d vs %d", len(acc), len(x)))
+	}
+	for i, v := range x {
+		if v > acc[i] {
+			acc[i] = v
+		}
+	}
+}
+
+// ReLU applies max(0, x) in place and returns x.
+func ReLU(x []float32) []float32 {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+	return x
+}
+
+// ReLUMat applies ReLU to every element of m in place and returns m.
+func ReLUMat(m *Matrix) *Matrix {
+	ReLU(m.Data)
+	return m
+}
+
+// Sigmoid applies the logistic function in place and returns x.
+func Sigmoid(x []float32) []float32 {
+	for i, v := range x {
+		x[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return x
+}
+
+// Tanh applies tanh in place and returns x.
+func Tanh(x []float32) []float32 {
+	for i, v := range x {
+		x[i] = float32(math.Tanh(float64(v)))
+	}
+	return x
+}
+
+// LeakyReLU applies max(alpha*x, x) in place and returns x.
+func LeakyReLU(alpha float32, x []float32) []float32 {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = alpha * v
+		}
+	}
+	return x
+}
+
+// Softmax normalizes x into a probability distribution in place, using the
+// max-subtraction trick for stability, and returns x.
+func Softmax(x []float32) []float32 {
+	if len(x) == 0 {
+		return x
+	}
+	max := x[0]
+	for _, v := range x[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(float64(v - max))
+		x[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range x {
+		x[i] *= inv
+	}
+	return x
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float32) float32 {
+	var s float32
+	for _, v := range x {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,195 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}})
+	b := FromRows([][]float32{{5, 6}, {7, 8}})
+	got := MatMul(a, b)
+	want := FromRows([][]float32{{19, 22}, {43, 50}})
+	if !got.Equal(want) {
+		t.Fatalf("MatMul = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := RandomMatrix(rng, 5, 7, 1)
+	id := NewMatrix(7, 7)
+	for i := 0; i < 7; i++ {
+		id.Set(i, i, 1)
+	}
+	if !MatMul(m, id).Equal(m) {
+		t.Fatal("M·I != M")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner-dimension mismatch")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(4, 2))
+}
+
+func TestMatVecVecMatConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandomMatrix(rng, 6, 4, 1)
+	x := RandomVector(rng, 4, 1)
+	mv := MatVec(a, x)
+	vm := VecMat(x, a.T())
+	for i := range mv {
+		if math.Abs(float64(mv[i]-vm[i])) > 1e-5 {
+			t.Fatalf("MatVec/VecMat disagree at %d: %v vs %v", i, mv[i], vm[i])
+		}
+	}
+}
+
+func TestVecMatMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := RandomMatrix(rng, 5, 3, 1)
+	x := RandomVector(rng, 5, 1)
+	xm := FromRows([][]float32{x})
+	want := MatMul(xm, w).Row(0)
+	got := VecMat(x, w)
+	for i := range want {
+		if math.Abs(float64(want[i]-got[i])) > 1e-5 {
+			t.Fatalf("VecMat mismatch at %d", i)
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	if Dot([]float32{1, 2, 3}, []float32{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float32{1, 1}
+	Axpy(2, []float32{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy = %v", y)
+	}
+}
+
+func TestAddScaleHadamardConcat(t *testing.T) {
+	a, b := []float32{1, 2}, []float32{3, 4}
+	if s := Add(a, b); s[0] != 4 || s[1] != 6 {
+		t.Fatalf("Add = %v", s)
+	}
+	x := []float32{1, -2}
+	if s := Scale(3, x); s[0] != 3 || s[1] != -6 {
+		t.Fatalf("Scale = %v", s)
+	}
+	if h := Hadamard(a, b); h[0] != 3 || h[1] != 8 {
+		t.Fatalf("Hadamard = %v", h)
+	}
+	if c := Concat(a, b); len(c) != 4 || c[2] != 3 {
+		t.Fatalf("Concat = %v", c)
+	}
+}
+
+func TestMaxElems(t *testing.T) {
+	acc := []float32{1, 5, -2}
+	MaxElems(acc, []float32{3, 2, -1})
+	if acc[0] != 3 || acc[1] != 5 || acc[2] != -1 {
+		t.Fatalf("MaxElems = %v", acc)
+	}
+}
+
+func TestActivations(t *testing.T) {
+	x := []float32{-1, 0, 2}
+	if r := ReLU(append([]float32(nil), x...)); r[0] != 0 || r[2] != 2 {
+		t.Fatalf("ReLU = %v", r)
+	}
+	if l := LeakyReLU(0.5, append([]float32(nil), x...)); l[0] != -0.5 || l[2] != 2 {
+		t.Fatalf("LeakyReLU = %v", l)
+	}
+	s := Sigmoid([]float32{0})
+	if math.Abs(float64(s[0])-0.5) > 1e-6 {
+		t.Fatalf("Sigmoid(0) = %v", s[0])
+	}
+	th := Tanh([]float32{0})
+	if th[0] != 0 {
+		t.Fatalf("Tanh(0) = %v", th[0])
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	x := Softmax([]float32{1, 2, 3})
+	var sum float32
+	for i := 1; i < len(x); i++ {
+		if x[i] <= x[i-1] {
+			t.Fatal("Softmax must be monotone in its inputs")
+		}
+		sum += x[i]
+	}
+	sum += x[0]
+	if math.Abs(float64(sum)-1) > 1e-5 {
+		t.Fatalf("Softmax sum = %v", sum)
+	}
+	if len(Softmax(nil)) != 0 {
+		t.Fatal("Softmax(nil) should be empty")
+	}
+}
+
+func TestSumAndReLUMat(t *testing.T) {
+	if Sum([]float32{1, 2, 3.5}) != 6.5 {
+		t.Fatal("Sum wrong")
+	}
+	m := FromRows([][]float32{{-1, 2}})
+	ReLUMat(m)
+	if m.At(0, 0) != 0 || m.At(0, 1) != 2 {
+		t.Fatalf("ReLUMat = %v", m.Data)
+	}
+}
+
+// Property: (A·B)·x == A·(B·x) within float tolerance — the associativity the
+// functional simulator relies on when reordering chained products.
+func TestMatMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, k, m := r.Intn(6)+1, r.Intn(6)+1, r.Intn(6)+1
+		a := RandomMatrix(rng, n, k, 1)
+		b := RandomMatrix(rng, k, m, 1)
+		x := RandomVector(rng, m, 1)
+		lhs := MatVec(MatMul(a, b), x)
+		rhs := MatVec(a, MatVec(b, x))
+		for i := range lhs {
+			if math.Abs(float64(lhs[i]-rhs[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlorotMagnitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := GlorotMatrix(rng, 64, 64)
+	limit := float32(math.Sqrt(6.0 / 128.0))
+	for _, v := range m.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("Glorot entry %v outside ±%v", v, limit)
+		}
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	a := RandomMatrix(rand.New(rand.NewSource(9)), 4, 4, 1)
+	b := RandomMatrix(rand.New(rand.NewSource(9)), 4, 4, 1)
+	if !a.Equal(b) {
+		t.Fatal("RandomMatrix must be deterministic per seed")
+	}
+}

@@ -1,0 +1,35 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomMatrix returns a Rows×Cols matrix with entries drawn uniformly from
+// [-scale, scale) using rng. Deterministic for a given seed, which the test
+// suite and dataset registry rely on.
+func RandomMatrix(rng *rand.Rand, rows, cols int, scale float32) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return m
+}
+
+// RandomVector returns an n-vector with entries uniform in [-scale, scale).
+func RandomVector(rng *rand.Rand, n int, scale float32) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return v
+}
+
+// GlorotMatrix returns a Rows×Cols matrix initialized with the Glorot/Xavier
+// uniform scheme, the customary initialization for GNN weight matrices. The
+// simulators never train, but sensible magnitudes keep activations in a range
+// where float32 comparisons against the golden reference stay tight.
+func GlorotMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	limit := float32(math.Sqrt(6 / float64(rows+cols)))
+	return RandomMatrix(rng, rows, cols, limit)
+}

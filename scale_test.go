@@ -1,0 +1,151 @@
+package scale
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDefault(t *testing.T) {
+	sim, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim == nil {
+		t.Fatal("nil simulator")
+	}
+}
+
+func TestNewRejections(t *testing.T) {
+	if _, err := New(Options{MACs: 777}); err == nil {
+		t.Fatal("bad MAC budget must error")
+	}
+	if _, err := New(Options{Scheduling: "bogus"}); err == nil {
+		t.Fatal("bad policy must error")
+	}
+}
+
+func TestModelsAndDatasets(t *testing.T) {
+	if len(Models()) < 5 || len(Datasets()) != 5 {
+		t.Fatalf("registry: %v %v", Models(), Datasets())
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	sim, _ := New(Options{})
+	r, err := sim.Simulate("gcn", "cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= 0 || r.Milliseconds <= 0 || r.EnergyMillijoules <= 0 {
+		t.Fatalf("empty report: %+v", r)
+	}
+	if r.AggUtilization < 0.5 || r.UpdateUtilization < 0.5 {
+		t.Fatalf("implausible utilization: %+v", r)
+	}
+	shares := r.AggShare + r.UpdateShare + r.CommShare + r.SchedShare + r.MemShare
+	if math.Abs(shares-1) > 0.02 {
+		t.Fatalf("breakdown shares sum to %.3f", shares)
+	}
+	if r.String() == "" {
+		t.Fatal("empty String()")
+	}
+	if _, err := sim.Simulate("gcn", "nope"); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+	if _, err := sim.Simulate("nope", "cora"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestSimulateGraph(t *testing.T) {
+	sim, _ := New(Options{})
+	degrees := make([]int32, 1000)
+	for i := range degrees {
+		degrees[i] = int32(i%7 + 1)
+	}
+	r, err := sim.SimulateGraph("gin", []int{32, 16, 8}, "custom", degrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	reports, err := Compare("gcn", "citeseer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale, ok := reports["SCALE"]
+	if !ok {
+		t.Fatal("SCALE missing")
+	}
+	awb, ok := reports["AWB-GCN"]
+	if !ok {
+		t.Fatal("AWB-GCN missing")
+	}
+	if scale.Cycles >= awb.Cycles {
+		t.Fatalf("SCALE (%d) should beat AWB-GCN (%d) on citeseer GCN", scale.Cycles, awb.Cycles)
+	}
+}
+
+func TestInferMatchesTinyExample(t *testing.T) {
+	sim, _ := New(Options{})
+	// A 3-vertex path 0→1→2 with 2-dim features through a 1-layer GIN.
+	out, err := sim.Infer("gin", []int{2, 2}, 3,
+		[][2]int{{0, 1}, {1, 2}},
+		[][]float32{{1, 0}, {0, 1}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || len(out[0]) != 2 {
+		t.Fatalf("output shape: %d x %d", len(out), len(out[0]))
+	}
+	for _, row := range out {
+		for _, v := range row {
+			if math.IsNaN(float64(v)) {
+				t.Fatal("NaN output")
+			}
+		}
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 21 {
+		t.Fatalf("expected 21 experiments, got %d", len(ids))
+	}
+	out, err := Experiment("fig16b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("empty experiment output")
+	}
+	if _, err := Experiment("nope"); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestSimulateTraced(t *testing.T) {
+	sim, _ := New(Options{})
+	r, traces, err := sim.SimulateTraced("ggcn", "cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= 0 || len(traces) != 2 {
+		t.Fatalf("traced report: %+v traces=%d", r, len(traces))
+	}
+	for _, lt := range traces {
+		if lt.RingSize < 2 || lt.NumBatches < 1 || lt.BatchEvenness <= 0 || lt.BatchEvenness > 1 {
+			t.Fatalf("malformed trace info: %+v", lt)
+		}
+	}
+	if _, _, err := sim.SimulateTraced("nope", "cora"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	if _, _, err := sim.SimulateTraced("gcn", "nope"); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
