@@ -1,0 +1,34 @@
+# Verification tiers for the SCALE repro. `make verify` is the full path;
+# CI and pre-commit should run at least `build` + `test` (tier 1).
+
+GO ?= go
+
+.PHONY: build test race fuzz bench-smoke verify
+
+# Tier 1: everything compiles and the full test suite passes.
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+# Tier 2: race detector over the concurrent sweep engine (and the packages
+# it drives). The bench tests shrink their heaviest sweeps under -race
+# (see internal/bench/race_on.go) to keep this tractable.
+race:
+	$(GO) test -race ./internal/bench/... ./internal/dse/...
+
+# Tier 3: short fuzz passes over the parsers (graph edge lists, binary
+# graph decoding, config JSON round-trip).
+fuzz:
+	$(GO) test ./internal/graph/ -run FuzzParseEdgeList -fuzz FuzzParseEdgeList -fuzztime 20s
+	$(GO) test ./internal/graph/ -run FuzzDecode -fuzz FuzzDecode -fuzztime 20s
+	$(GO) test ./internal/core/ -run FuzzConfigJSON -fuzz FuzzConfigJSON -fuzztime 20s
+
+# Smoke-run the CLIs end to end.
+bench-smoke:
+	$(GO) run ./cmd/scale-bench -exp fig1b
+	$(GO) run ./cmd/scale-dse -dataset cora -parallel 2
+
+verify: test race bench-smoke

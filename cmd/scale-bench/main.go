@@ -7,13 +7,17 @@
 //	scale-bench -exp fig10      # run one experiment
 //	scale-bench -list           # list experiment ids
 //	scale-bench -macs 2048      # override the MAC budget
+//	scale-bench -parallel 8     # worker budget for the sweep engine
+//	scale-bench -speedup        # measure serial vs parallel wall clock
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"scale/internal/bench"
 	"scale/internal/graph"
@@ -21,11 +25,13 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id to run (default: all)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		macs   = flag.Int("macs", 1024, "equalized MAC budget")
-		only   = flag.String("datasets", "", "comma-separated dataset subset (e.g. cora,pubmed)")
-		format = flag.String("format", "text", "output format: text, csv, json")
+		exp      = flag.String("exp", "", "experiment id to run (default: all)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		macs     = flag.Int("macs", 1024, "equalized MAC budget")
+		only     = flag.String("datasets", "", "comma-separated dataset subset (e.g. cora,pubmed)")
+		format   = flag.String("format", "text", "output format: text, csv, json")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the sweep engine (1 = serial)")
+		speedup  = flag.Bool("speedup", false, "run the full suite serially, then at -parallel, and report the wall-clock speedup")
 	)
 	flag.Parse()
 
@@ -36,45 +42,95 @@ func main() {
 		return
 	}
 
-	s := bench.NewSuite()
-	s.MACs = *macs
-	if *only != "" {
-		s.Datasets = strings.Split(*only, ",")
-		for _, d := range s.Datasets {
-			if _, err := graph.ByName(d); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+	newSuite := func() (*bench.Suite, error) {
+		s := bench.NewSuite()
+		s.MACs = *macs
+		if *only != "" {
+			s.Datasets = strings.Split(*only, ",")
+			for _, d := range s.Datasets {
+				if _, err := graph.ByName(d); err != nil {
+					return nil, err
+				}
 			}
 		}
+		return s, nil
 	}
 
 	experiments := bench.Experiments()
-	if *exp == "" {
-		// Full runs touch every cell; warm the cache in parallel first.
-		if err := s.Warm(8); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
 	if *exp != "" {
 		e, err := bench.ByID(*exp)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		experiments = []bench.Experiment{e}
 	}
-	for _, e := range experiments {
-		t, err := e.Run(s)
+
+	if *speedup {
+		// Fresh suite per run so the second run cannot serve the first run's
+		// cache; this is the tool's own serial-vs-parallel benchmark.
+		serial, err := timeRun(newSuite, experiments, 1)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			fatal(err)
+		}
+		par, err := timeRun(newSuite, experiments, *parallel)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("experiments: %d\n", len(experiments))
+		fmt.Printf("serial   (-parallel 1):  %s\n", serial.Round(time.Millisecond))
+		fmt.Printf("parallel (-parallel %d): %s\n", *parallel, par.Round(time.Millisecond))
+		fmt.Printf("speedup: %.2fx on %d CPUs\n", serial.Seconds()/par.Seconds(), runtime.NumCPU())
+		return
+	}
+
+	s, err := newSuite()
+	if err != nil {
+		fatal(err)
+	}
+	r := bench.NewRunner(s, *parallel)
+	start := time.Now()
+	if *exp == "" {
+		// Full runs touch every cell; warm the cache across the pool first.
+		if err := r.Warm(); err != nil {
+			fatal(err)
+		}
+	}
+	for _, res := range r.Run(experiments) {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", res.Experiment.ID, res.Err)
 			os.Exit(1)
 		}
-		out, err := t.Format(*format)
+		out, err := res.Table.Format(*format)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Println(out)
 	}
+	fmt.Fprintf(os.Stderr, "scale-bench: %d experiment(s) in %s (%d workers)\n",
+		len(experiments), time.Since(start).Round(time.Millisecond), r.Workers)
+}
+
+// timeRun executes the experiments on a fresh suite with the given worker
+// budget and returns the wall clock; any experiment error aborts.
+func timeRun(newSuite func() (*bench.Suite, error), exps []bench.Experiment, workers int) (time.Duration, error) {
+	s, err := newSuite()
+	if err != nil {
+		return 0, err
+	}
+	r := bench.NewRunner(s, workers)
+	start := time.Now()
+	if err := r.Warm(); err != nil {
+		return 0, err
+	}
+	for _, res := range r.Run(exps) {
+		if res.Err != nil {
+			return 0, fmt.Errorf("%s: %w", res.Experiment.ID, res.Err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scale-bench:", err)
+	os.Exit(1)
 }

@@ -7,12 +7,15 @@
 //
 //	scale-dse -model gcn -dataset pubmed
 //	scale-dse -model gin -dataset nell -area 30
+//	scale-dse -model gcn -dataset reddit -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"scale/internal/dse"
 	"scale/internal/gnn"
@@ -21,9 +24,10 @@ import (
 
 func main() {
 	var (
-		model   = flag.String("model", "gcn", "GNN model")
-		dataset = flag.String("dataset", "cora", "dataset")
-		budget  = flag.Float64("area", 0, "area budget in mm² (0 = no budget pick)")
+		model    = flag.String("model", "gcn", "GNN model")
+		dataset  = flag.String("dataset", "cora", "dataset")
+		budget   = flag.Float64("area", 0, "area budget in mm² (0 = no budget pick)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the exploration (1 = serial)")
 	)
 	flag.Parse()
 
@@ -36,11 +40,14 @@ func main() {
 		fatal(err)
 	}
 	space := dse.DefaultSpace()
-	fmt.Printf("exploring %d design points for %s/%s...\n", space.Size(), *model, *dataset)
-	points, err := dse.Explore(space, m, d.Profile())
+	fmt.Printf("exploring %d design points for %s/%s (%d workers)...\n",
+		space.Size(), *model, *dataset, *parallel)
+	start := time.Now()
+	points, err := dse.ExploreParallel(space, m, d.Profile(), *parallel)
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("explored in %s\n", time.Since(start).Round(time.Millisecond))
 
 	fmt.Println("\nlatency/area Pareto front:")
 	for _, p := range dse.Pareto(points) {

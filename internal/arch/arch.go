@@ -107,6 +107,13 @@ func (r *Result) String() string {
 }
 
 // Accelerator is a timing+traffic model of one architecture.
+//
+// Implementations must be safe for concurrent use: Run may be called from
+// many goroutines at once (the bench sweep engine fans the evaluation matrix
+// across a worker pool), so a Run must not mutate receiver state — working
+// state belongs in fresh per-call allocations, and any randomness must come
+// from a per-call seeded source, never a shared one. Both in-tree
+// implementations (core.SCALE and baseline.Baseline) follow this contract.
 type Accelerator interface {
 	// Name identifies the accelerator ("SCALE", "AWB-GCN", ...).
 	Name() string

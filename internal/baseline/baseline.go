@@ -9,6 +9,11 @@
 // fusion, redundancy elimination, interconnect topology — plus a small set
 // of documented calibration constants (overlap factors, register-reuse
 // ratio) chosen so the §VII anchor results reproduce. See DESIGN.md §1.
+//
+// A Baseline is a value type whose Run allocates all working state per call,
+// so a configured Baseline is safe for concurrent use from many goroutines
+// (the arch.Accelerator contract). Configure fields such as RedundancyRate
+// before sharing, not during a run.
 package baseline
 
 import (

@@ -21,37 +21,50 @@ func (s *Suite) ExtAblation() (*Table, error) {
 		Title:  "Extension — design-choice ablation (slowdown vs full SCALE)",
 		Header: []string{"dataset", "model", "full", "no-operator-fusion", "no-double-buffering"},
 	}
-	for _, ds := range []string{"cora", "pubmed", "reddit"} {
-		for _, model := range []string{"gcn", "ggcn"} {
-			m := s.Model(model, ds)
-			p := s.Profile(ds)
-			run := func(mutate func(*core.Config)) (int64, error) {
-				cfg, err := core.ConfigForMACs(s.MACs)
-				if err != nil {
-					return 0, err
-				}
-				mutate(&cfg)
-				r, err := core.MustNew(cfg).Run(m, p)
-				if err != nil {
-					return 0, err
-				}
-				return r.Cycles, nil
-			}
-			full, err := run(func(*core.Config) {})
+	datasets := []string{"cora", "pubmed", "reddit"}
+	models := []string{"gcn", "ggcn"}
+	type point struct{ full, noFusion, noDB int64 }
+	points := make([]point, len(datasets)*len(models))
+	err := s.each(len(points), func(i int) error {
+		ds := datasets[i/len(models)]
+		model := models[i%len(models)]
+		m := s.Model(model, ds)
+		p := s.Profile(ds)
+		run := func(mutate func(*core.Config)) (int64, error) {
+			cfg, err := core.ConfigForMACs(s.MACs)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			noFusion, err := run(func(c *core.Config) { c.DisableOperatorFusion = true })
+			mutate(&cfg)
+			r, err := core.MustNew(cfg).Run(m, p)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			noDB, err := run(func(c *core.Config) { c.DisableDoubleBuffering = true })
-			if err != nil {
-				return nil, err
-			}
+			return r.Cycles, nil
+		}
+		var pt point
+		var err error
+		if pt.full, err = run(func(*core.Config) {}); err != nil {
+			return err
+		}
+		if pt.noFusion, err = run(func(c *core.Config) { c.DisableOperatorFusion = true }); err != nil {
+			return err
+		}
+		if pt.noDB, err = run(func(c *core.Config) { c.DisableDoubleBuffering = true }); err != nil {
+			return err
+		}
+		points[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, ds := range datasets {
+		for mi, model := range models {
+			pt := points[di*len(models)+mi]
 			t.AddRow(ds, model, "1.00",
-				f2(float64(noFusion)/float64(full)),
-				f2(float64(noDB)/float64(full)))
+				f2(float64(pt.noFusion)/float64(pt.full)),
+				f2(float64(pt.noDB)/float64(pt.full)))
 		}
 	}
 	t.AddNote("operator fusion is the dominant design choice: without it one engine idles whenever phases are lopsided")
@@ -67,7 +80,9 @@ func (s *Suite) ExtGAT() (*Table, error) {
 		Title:  "Extension — GAT (attention) speedup, FlowGNN = 1.0",
 		Header: []string{"dataset", "ReGNN", "FlowGNN", "SCALE"},
 	}
-	for _, ds := range s.Datasets {
+	cells := make([]map[string]*arch.Result, len(s.Datasets))
+	err := s.each(len(cells), func(i int) error {
+		ds := s.Datasets[i]
 		m := gnn.MustModel("gat", s.Model("gcn", ds).Dims(), 1)
 		p := s.Profile(ds)
 		results := map[string]*arch.Result{}
@@ -77,10 +92,18 @@ func (s *Suite) ExtGAT() (*Table, error) {
 			}
 			r, err := a.Run(m, p)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			results[a.Name()] = r
 		}
+		cells[i] = results
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, ds := range s.Datasets {
+		results := cells[di]
 		ref := results["FlowGNN"]
 		t.AddRow(ds,
 			f2(arch.Speedup(ref, results["ReGNN"])),
@@ -99,25 +122,38 @@ func (s *Suite) ExtBatchSweep() (*Table, error) {
 		Title:  "Extension — measured batch-size sweep (cycles vs auto batch)",
 		Header: []string{"dataset", "B=128", "B=512", "B=2048", "B=8192", "auto"},
 	}
-	for _, ds := range []string{"cora", "pubmed", "nell"} {
+	datasets := []string{"cora", "pubmed", "nell"}
+	batches := []int{128, 512, 2048, 8192}
+	// Index 0 per dataset is the automatic batch; 1..len(batches) the forced
+	// sizes. All points are independent simulations.
+	stride := 1 + len(batches)
+	cycles := make([]int64, len(datasets)*stride)
+	err := s.each(len(cycles), func(i int) error {
+		ds := datasets[i/stride]
 		m := s.Model("gcn", ds)
 		p := s.Profile(ds)
-		auto, err := s.SCALE().Run(m, p)
+		cfg, err := core.ConfigForMACs(s.MACs)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		if j := i % stride; j > 0 {
+			cfg.BatchSize = batches[j-1]
+		}
+		r, err := core.MustNew(cfg).Run(m, p)
+		if err != nil {
+			return err
+		}
+		cycles[i] = r.Cycles
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, ds := range datasets {
+		auto := cycles[di*stride]
 		row := []string{ds}
-		for _, b := range []int{128, 512, 2048, 8192} {
-			cfg, err := core.ConfigForMACs(s.MACs)
-			if err != nil {
-				return nil, err
-			}
-			cfg.BatchSize = b
-			r, err := core.MustNew(cfg).Run(m, p)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f2(float64(r.Cycles)/float64(auto.Cycles)))
+		for bi := range batches {
+			row = append(row, f2(float64(cycles[di*stride+1+bi])/float64(auto)))
 		}
 		row = append(row, "1.00")
 		t.AddRow(row...)
@@ -138,20 +174,32 @@ func (s *Suite) ExtSweep() (*Table, error) {
 		Header: []string{"avg-degree", "F=64", "F=256", "F=1024"},
 	}
 	const vertices = 20000
-	for _, deg := range []int{2, 8, 32, 128, 512} {
+	degrees := []int{2, 8, 32, 128, 512}
+	feats := []int{64, 256, 1024}
+	speedups := make([]float64, len(degrees)*len(feats))
+	err := s.each(len(speedups), func(i int) error {
+		deg := degrees[i/len(feats)]
+		feat := feats[i%len(feats)]
+		p := graph.SyntheticProfile(fmt.Sprintf("sweep-d%d", deg), vertices, int64(vertices*deg), 0.6, int64(deg))
+		m := gnn.MustModel("gin", []int{feat, 64, 16}, 1)
+		scaleRes, err := s.SCALE().Run(m, p)
+		if err != nil {
+			return err
+		}
+		fg, err := baseline.NewFlowGNN(s.MACs).Run(m, p)
+		if err != nil {
+			return err
+		}
+		speedups[i] = arch.Speedup(fg, scaleRes)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, deg := range degrees {
 		row := []string{itoa(deg)}
-		for _, feat := range []int{64, 256, 1024} {
-			p := graph.SyntheticProfile(fmt.Sprintf("sweep-d%d", deg), vertices, int64(vertices*deg), 0.6, int64(deg))
-			m := gnn.MustModel("gin", []int{feat, 64, 16}, 1)
-			scaleRes, err := s.SCALE().Run(m, p)
-			if err != nil {
-				return nil, err
-			}
-			fg, err := baseline.NewFlowGNN(s.MACs).Run(m, p)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f2(arch.Speedup(fg, scaleRes)))
+		for fi := range feats {
+			row = append(row, f2(speedups[di*len(feats)+fi]))
 		}
 		t.AddRow(row...)
 	}
@@ -168,7 +216,13 @@ func (s *Suite) ExtIGCN() (*Table, error) {
 		Title:  "Extension — I-GCN (islandization) on GCN, AWB-GCN = 1.0",
 		Header: []string{"dataset", "island-locality", "I-GCN", "SCALE"},
 	}
-	for _, ds := range s.Datasets {
+	type point struct {
+		locality        float64
+		igcn, awb, scal *arch.Result
+	}
+	points := make([]point, len(s.Datasets))
+	err := s.each(len(points), func(i int) error {
+		ds := s.Datasets[i]
 		m := s.Model("gcn", ds)
 		p := s.Profile(ds)
 		_, stats := graph.Islandize(graph.MustByName(ds).Build(), 256)
@@ -176,19 +230,27 @@ func (s *Suite) ExtIGCN() (*Table, error) {
 		igcn.LocalityRate = stats.Locality
 		ir, err := igcn.Run(m, p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		awb, err := s.Run(baseline.NewAWBGCN(s.MACs), "gcn", ds)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		scaleRes, err := s.Run(s.SCALE(), "gcn", ds)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(ds, pct(stats.Locality),
-			f2(arch.Speedup(awb, ir)),
-			f2(arch.Speedup(awb, scaleRes)))
+		points[i] = point{stats.Locality, ir, awb, scaleRes}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, ds := range s.Datasets {
+		pt := points[di]
+		t.AddRow(ds, pct(pt.locality),
+			f2(arch.Speedup(pt.awb, pt.igcn)),
+			f2(arch.Speedup(pt.awb, pt.scal)))
 	}
 	t.AddNote("I-GCN benefits track island locality; SCALE needs no preprocessing or islandization pass")
 	return t, nil
@@ -205,24 +267,38 @@ func (s *Suite) ExtMapping() (*Table, error) {
 		Title:  "Extension — aggregation mapping: feature-parallel cycles vs edge-parallel",
 		Header: []string{"dataset", "model", "edge-parallel", "feature-parallel"},
 	}
-	for _, ds := range []string{"cora", "pubmed", "nell"} {
-		for _, model := range []string{"gcn", "gin"} {
-			m := s.Model(model, ds)
-			p := s.Profile(ds)
-			edge, err := s.SCALE().Run(m, p)
-			if err != nil {
-				return nil, err
-			}
-			cfg, err := core.ConfigForMACs(s.MACs)
-			if err != nil {
-				return nil, err
-			}
-			cfg.FeatureParallel = true
-			feat, err := core.MustNew(cfg).Run(m, p)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(ds, model, "1.00", f2(float64(feat.Cycles)/float64(edge.Cycles)))
+	datasets := []string{"cora", "pubmed", "nell"}
+	models := []string{"gcn", "gin"}
+	type point struct{ edge, feat int64 }
+	points := make([]point, len(datasets)*len(models))
+	err := s.each(len(points), func(i int) error {
+		ds := datasets[i/len(models)]
+		model := models[i%len(models)]
+		m := s.Model(model, ds)
+		p := s.Profile(ds)
+		edge, err := s.SCALE().Run(m, p)
+		if err != nil {
+			return err
+		}
+		cfg, err := core.ConfigForMACs(s.MACs)
+		if err != nil {
+			return err
+		}
+		cfg.FeatureParallel = true
+		feat, err := core.MustNew(cfg).Run(m, p)
+		if err != nil {
+			return err
+		}
+		points[i] = point{edge.Cycles, feat.Cycles}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, ds := range datasets {
+		for mi, model := range models {
+			pt := points[di*len(models)+mi]
+			t.AddRow(ds, model, "1.00", f2(float64(pt.feat)/float64(pt.edge)))
 		}
 	}
 	t.AddNote("values > 1: the exchange overhead outweighs the balance gain once Algorithm 1 already balances the rings")
@@ -240,27 +316,41 @@ func (s *Suite) ExtQuant() (*Table, error) {
 		Header: []string{"dataset", "avg-bytes/elem", "cycles-ratio", "energy-ratio"},
 	}
 	eparams := energy.DefaultParams()
-	for _, ds := range s.Datasets {
+	type point struct {
+		avgBytes     float64
+		base, quantd *arch.Result
+	}
+	points := make([]point, len(s.Datasets))
+	err := s.each(len(points), func(i int) error {
+		ds := s.Datasets[i]
 		p := s.Profile(ds)
 		m := s.Model("gcn", ds)
 		base, err := s.SCALE().Run(m, p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		plan := quant.DegreeBased(p, 0.75)
 		cfg, err := core.ConfigForMACs(s.MACs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg.FeatureBytes = plan.AvgBytes()
 		qr, err := core.MustNew(cfg).Run(m, p)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		be := energy.Estimate(eparams, base.Traffic, base.Cycles)
-		qe := energy.Estimate(eparams, qr.Traffic, qr.Cycles)
-		t.AddRow(ds, f2(plan.AvgBytes()),
-			f2(float64(qr.Cycles)/float64(base.Cycles)),
+		points[i] = point{plan.AvgBytes(), base, qr}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, ds := range s.Datasets {
+		pt := points[di]
+		be := energy.Estimate(eparams, pt.base.Traffic, pt.base.Cycles)
+		qe := energy.Estimate(eparams, pt.quantd.Traffic, pt.quantd.Cycles)
+		t.AddRow(ds, f2(pt.avgBytes),
+			f2(float64(pt.quantd.Cycles)/float64(pt.base.Cycles)),
 			f2(qe.Total()/be.Total()))
 	}
 	t.AddNote("weights stay float32; quantization pays in feature traffic (DRAM/GB energy) and in memory-bound stalls")

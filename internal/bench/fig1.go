@@ -17,15 +17,26 @@ func (s *Suite) Fig1a() (*Table, error) {
 		Header: []string{"dataset", "policy", "aggr-balance", "update-balance"},
 	}
 	units := s.MACs / 2
-	for _, ds := range s.Datasets {
-		p := s.Profile(ds)
-		for _, pol := range []sched.Policy{sched.VertexAware, sched.DegreeAware, sched.DegreeVertexAware} {
-			groups, err := sched.Schedule(p.Degrees, sched.AllVertices(p.NumVertices()),
-				sched.Config{NumTasks: units, NumGroups: units / 16, Policy: pol})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(ds, pol.String(), pct(sched.EdgeBalance(groups)), pct(sched.VertexBalance(groups)))
+	policies := []sched.Policy{sched.VertexAware, sched.DegreeAware, sched.DegreeVertexAware}
+	type balance struct{ edge, vertex float64 }
+	points := make([]balance, len(s.Datasets)*len(policies))
+	err := s.each(len(points), func(i int) error {
+		p := s.Profile(s.Datasets[i/len(policies)])
+		groups, err := sched.Schedule(p.Degrees, sched.AllVertices(p.NumVertices()),
+			sched.Config{NumTasks: units, NumGroups: units / 16, Policy: policies[i%len(policies)]})
+		if err != nil {
+			return err
+		}
+		points[i] = balance{sched.EdgeBalance(groups), sched.VertexBalance(groups)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, ds := range s.Datasets {
+		for pi, pol := range policies {
+			b := points[di*len(policies)+pi]
+			t.AddRow(ds, pol.String(), pct(b.edge), pct(b.vertex))
 		}
 	}
 	t.AddNote("paper: vertex- or edge-only policies show 40-50%% PE under-utilization on one phase")

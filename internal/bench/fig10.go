@@ -13,6 +13,10 @@ func (s *Suite) Fig10() (*Table, error) {
 		Title:  "Fig. 10 — Normalized speedup (higher is better, per-cell baseline = 1.0)",
 		Header: []string{"model", "dataset", "AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "SCALE"},
 	}
+	cells, err := s.matrixCells()
+	if err != nil {
+		return nil, err
+	}
 	type pair struct {
 		sum float64
 		n   int
@@ -27,15 +31,12 @@ func (s *Suite) Fig10() (*Table, error) {
 		p.sum += v
 		p.n++
 	}
-	for _, model := range s.Models {
-		for _, ds := range s.Datasets {
-			cell, err := s.RunCell(model, ds)
-			if err != nil {
-				return nil, err
-			}
+	for mi, model := range s.Models {
+		for di, ds := range s.Datasets {
+			cell := cells[mi*len(s.Datasets)+di]
 			ref := cell[s.BaselineFor(model, ds)]
 			row := []string{model, ds}
-			for _, name := range []string{"AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "SCALE"} {
+			for _, name := range accelOrder {
 				r, ok := cell[name]
 				if !ok {
 					row = append(row, "-")
@@ -45,8 +46,9 @@ func (s *Suite) Fig10() (*Table, error) {
 			}
 			t.AddRow(row...)
 			scale := cell["SCALE"]
-			for name, r := range cell {
-				if name == "SCALE" {
+			for _, name := range accelOrder {
+				r, ok := cell[name]
+				if !ok || name == "SCALE" {
 					continue
 				}
 				add("SCALE/"+name+"@"+model, arch.Speedup(r, scale))
@@ -88,6 +90,27 @@ func (s *Suite) Fig10() (*Table, error) {
 	return t, nil
 }
 
+// matrixCells runs the whole Models×Datasets matrix through the worker
+// pool and returns the cells in row-major (model, dataset) order. The
+// parallel fan-out and the deterministic fold are deliberately separated:
+// workers may finish in any order, but every float accumulation over the
+// cells happens serially in input order afterwards.
+func (s *Suite) matrixCells() ([]map[string]*arch.Result, error) {
+	cells := make([]map[string]*arch.Result, len(s.Models)*len(s.Datasets))
+	err := s.each(len(cells), func(i int) error {
+		cell, err := s.RunCell(s.Models[i/len(s.Datasets)], s.Datasets[i%len(s.Datasets)])
+		if err != nil {
+			return err
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
 // Averages extracts the summary numbers from Fig10 for tests.
 type Fig10Summary struct {
 	VsAWBGCN, VsGCNAX, VsFlowGNN, VsReGNN, Overall float64
@@ -97,19 +120,21 @@ type Fig10Summary struct {
 // Fig10Summary computes the §VII-A average speedups directly.
 func (s *Suite) Fig10Summary() (Fig10Summary, error) {
 	var out Fig10Summary
+	cells, err := s.matrixCells()
+	if err != nil {
+		return out, err
+	}
 	var awb, gcnax, fg, rg, all struct {
 		sum float64
 		n   int
 	}
-	for _, model := range s.Models {
-		for _, ds := range s.Datasets {
-			cell, err := s.RunCell(model, ds)
-			if err != nil {
-				return out, err
-			}
+	for mi, model := range s.Models {
+		for di, ds := range s.Datasets {
+			cell := cells[mi*len(s.Datasets)+di]
 			scale := cell["SCALE"]
-			for name, r := range cell {
-				if name == "SCALE" {
+			for _, name := range accelOrder {
+				r, ok := cell[name]
+				if !ok || name == "SCALE" {
 					continue
 				}
 				sp := arch.Speedup(r, scale)

@@ -12,19 +12,24 @@ func (s *Suite) Fig11() (*Table, error) {
 		Title:  "Fig. 11 — Latency breakdown (share of each accelerator's total)",
 		Header: []string{"model", "accelerator", "aggregation", "update", "exposed-comm", "sched", "mem-stall"},
 	}
+	cells, err := s.matrixCells()
+	if err != nil {
+		return nil, err
+	}
 	type agg struct {
 		b      arch.Breakdown
 		cycles int64
 	}
 	var maxCommShare, scaleCommShare float64
-	for _, model := range s.Models {
+	for mi, model := range s.Models {
 		perAccel := map[string]*agg{}
-		for _, ds := range s.Datasets {
-			cell, err := s.RunCell(model, ds)
-			if err != nil {
-				return nil, err
-			}
-			for name, r := range cell {
+		for di := range s.Datasets {
+			cell := cells[mi*len(s.Datasets)+di]
+			for _, name := range accelOrder {
+				r, ok := cell[name]
+				if !ok {
+					continue
+				}
 				a, ok := perAccel[name]
 				if !ok {
 					a = &agg{}
@@ -34,7 +39,7 @@ func (s *Suite) Fig11() (*Table, error) {
 				a.cycles += r.Cycles
 			}
 		}
-		for _, name := range []string{"AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "SCALE"} {
+		for _, name := range accelOrder {
 			a, ok := perAccel[name]
 			if !ok || a.cycles == 0 {
 				continue

@@ -22,31 +22,42 @@ func (s *Suite) Fig12() (*Table, error) {
 		Title:  "Fig. 12 — Scalability (speedup vs AWB-GCN @ 512 MACs)",
 		Header: []string{"dataset", "MACs", "AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "SCALE"},
 	}
-	sums := map[string]float64{}
-	counts := map[string]int{}
-	for _, ds := range s.Datasets {
+	// Fan the (dataset, MAC budget) grid across the pool; each point runs
+	// all five accelerators. The AWB-GCN @ 512 normalization base is the
+	// grid's own 512-MAC entry.
+	points := make([]map[string]*arch.Result, len(s.Datasets)*len(macsList))
+	err := s.each(len(points), func(i int) error {
+		ds := s.Datasets[i/len(macsList)]
+		macs := macsList[i%len(macsList)]
 		m := s.Model("gcn", ds)
 		p := s.Profile(ds)
-		base, err := s.scaledBase(m, p, ds)
+		accels, err := s.scaledAccelerators(macs, ds)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, macs := range macsList {
-			row := []string{ds, itoa(macs)}
-			accels, err := s.scaledAccelerators(macs, ds)
+		vals := make(map[string]*arch.Result, len(accels))
+		for _, a := range accels {
+			r, err := a.Run(m, p)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			vals := map[string]float64{}
-			for _, a := range accels {
-				r, err := a.Run(m, p)
-				if err != nil {
-					return nil, err
-				}
-				vals[a.Name()] = arch.Speedup(base, r) // vs AWB-GCN @ 512 MACs
-			}
-			for _, name := range []string{"AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "SCALE"} {
-				sp := vals[name]
+			vals[a.Name()] = r
+		}
+		points[i] = vals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for di, ds := range s.Datasets {
+		base := points[di*len(macsList)]["AWB-GCN"] // the 512-MAC entry
+		for mi, macs := range macsList {
+			row := []string{ds, itoa(macs)}
+			vals := points[di*len(macsList)+mi]
+			for _, name := range accelOrder {
+				sp := arch.Speedup(base, vals[name])
 				row = append(row, f2(sp))
 				if macs == 4096 {
 					sums[name] += sp
@@ -56,7 +67,7 @@ func (s *Suite) Fig12() (*Table, error) {
 			t.AddRow(row...)
 		}
 	}
-	for _, name := range []string{"AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "SCALE"} {
+	for _, name := range accelOrder {
 		if counts[name] > 0 {
 			t.AddNote("%s mean speedup @4K MACs = %.2fx", name, sums[name]/float64(counts[name]))
 		}
@@ -67,30 +78,45 @@ func (s *Suite) Fig12() (*Table, error) {
 
 // Fig12Summary returns the mean 4K-MAC speedups for tests.
 func (s *Suite) Fig12Summary() (map[string]float64, error) {
-	out := map[string]float64{}
-	counts := map[string]int{}
-	for _, ds := range s.Datasets {
+	type point struct {
+		base *arch.Result
+		vals map[string]*arch.Result
+	}
+	points := make([]point, len(s.Datasets))
+	err := s.each(len(points), func(i int) error {
+		ds := s.Datasets[i]
 		m := s.Model("gcn", ds)
 		p := s.Profile(ds)
 		base, err := s.scaledBase(m, p, ds)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		accels, err := s.scaledAccelerators(4096, ds)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		vals := make(map[string]*arch.Result, len(accels))
 		for _, a := range accels {
 			r, err := a.Run(m, p)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			out[a.Name()] += arch.Speedup(base, r)
-			counts[a.Name()]++
+			vals[a.Name()] = r
+		}
+		points[i] = point{base, vals}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, pt := range points {
+		for _, name := range accelOrder {
+			out[name] += arch.Speedup(pt.base, pt.vals[name])
 		}
 	}
-	for name, n := range counts {
-		out[name] /= float64(n)
+	for _, name := range accelOrder {
+		out[name] /= float64(len(points))
 	}
 	return out, nil
 }

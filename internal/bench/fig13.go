@@ -14,21 +14,21 @@ func (s *Suite) Fig13a() (*Table, error) {
 		Title:  "Fig. 13a — Average PE utilization per phase",
 		Header: []string{"accelerator", "dataset", "aggregation", "update"},
 	}
+	cells, err := s.matrixCells()
+	if err != nil {
+		return nil, err
+	}
 	type acc struct {
 		agg, upd float64
 		n        int
 	}
 	means := map[string]*acc{}
 	for _, name := range []string{"SCALE", "FlowGNN", "AWB-GCN"} {
-		for _, ds := range s.Datasets {
+		for di, ds := range s.Datasets {
 			var agg, upd float64
 			n := 0
-			for _, model := range s.Models {
-				cell, err := s.RunCell(model, ds)
-				if err != nil {
-					return nil, err
-				}
-				r, ok := cell[name]
+			for mi := range s.Models {
+				r, ok := cells[mi*len(s.Datasets)+di][name]
 				if !ok {
 					continue
 				}
@@ -65,24 +65,30 @@ type UtilSummary struct{ Agg, Update float64 }
 
 // Fig13aSummary returns the mean per-accelerator utilizations for tests.
 func (s *Suite) Fig13aSummary() (map[string]UtilSummary, error) {
+	cells, err := s.matrixCells()
+	if err != nil {
+		return nil, err
+	}
 	out := map[string]UtilSummary{}
 	counts := map[string]int{}
-	for _, model := range s.Models {
-		for _, ds := range s.Datasets {
-			cell, err := s.RunCell(model, ds)
-			if err != nil {
-				return nil, err
+	for _, cell := range cells {
+		for _, name := range accelOrder {
+			r, ok := cell[name]
+			if !ok {
+				continue
 			}
-			for name, r := range cell {
-				u := out[name]
-				u.Agg += r.AggUtil
-				u.Update += r.UpdateUtil
-				out[name] = u
-				counts[name]++
-			}
+			u := out[name]
+			u.Agg += r.AggUtil
+			u.Update += r.UpdateUtil
+			out[name] = u
+			counts[name]++
 		}
 	}
-	for name, n := range counts {
+	for _, name := range accelOrder {
+		n := counts[name]
+		if n == 0 {
+			continue
+		}
 		u := out[name]
 		u.Agg /= float64(n)
 		u.Update /= float64(n)
@@ -99,26 +105,39 @@ func (s *Suite) Fig13b() (*Table, error) {
 		Title:  "Fig. 13b — Scheduling ablation on SCALE (mean utilization)",
 		Header: []string{"policy", "aggregation", "update"},
 	}
-	for _, pol := range []sched.Policy{sched.DegreeAware, sched.VertexAware, sched.DegreeVertexAware} {
-		var agg, upd float64
-		n := 0
-		for _, ds := range s.Datasets {
-			cfg, err := core.ConfigForMACs(s.MACs)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Policy = pol
-			for _, model := range []string{"gcn", "gin"} {
-				r, err := core.MustNew(cfg).Run(s.Model(model, ds), s.Profile(ds))
-				if err != nil {
-					return nil, err
-				}
-				agg += r.AggUtil
-				upd += r.UpdateUtil
-				n++
-			}
+	policies := []sched.Policy{sched.DegreeAware, sched.VertexAware, sched.DegreeVertexAware}
+	models := []string{"gcn", "gin"}
+	type util struct{ agg, upd float64 }
+	// One sweep point per (policy, dataset, model); folded per policy in
+	// fixed order below.
+	utils := make([]util, len(policies)*len(s.Datasets)*len(models))
+	err := s.each(len(utils), func(i int) error {
+		pol := policies[i/(len(s.Datasets)*len(models))]
+		ds := s.Datasets[(i/len(models))%len(s.Datasets)]
+		model := models[i%len(models)]
+		cfg, err := core.ConfigForMACs(s.MACs)
+		if err != nil {
+			return err
 		}
-		t.AddRow(pol.String(), pct(agg/float64(n)), pct(upd/float64(n)))
+		cfg.Policy = pol
+		r, err := core.MustNew(cfg).Run(s.Model(model, ds), s.Profile(ds))
+		if err != nil {
+			return err
+		}
+		utils[i] = util{r.AggUtil, r.UpdateUtil}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	perPolicy := len(s.Datasets) * len(models)
+	for pi, pol := range policies {
+		var agg, upd float64
+		for _, u := range utils[pi*perPolicy : (pi+1)*perPolicy] {
+			agg += u.agg
+			upd += u.upd
+		}
+		t.AddRow(pol.String(), pct(agg/float64(perPolicy)), pct(upd/float64(perPolicy)))
 	}
 	t.AddNote("paper: S+DS 99.1%%/58.7%%, S+VS 54.7%%/99.2%%, S+DVS balances both")
 	return t, nil

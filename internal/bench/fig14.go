@@ -2,6 +2,23 @@ package bench
 
 import "scale/internal/core"
 
+// fig14Rings is the forced ring-size sweep of Fig. 14.
+var fig14Rings = []int{2, 4, 8, 16, 32, 64, 128, 256}
+
+// fig14Run executes the 2-layer GCN on a dataset with the ring size forced.
+func (s *Suite) fig14Run(dataset string, ring int) (l1, l2, total int64, err error) {
+	cfg, err := core.ConfigForMACs(s.MACs)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cfg.RingSize = ring
+	r, err := core.MustNew(cfg).Run(s.Model("gcn", dataset), s.Profile(dataset))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return r.Layers[0].Cycles, r.Layers[1].Cycles, r.Cycles, nil
+}
+
 // Fig14 reproduces the ring-size sensitivity study: 2-layer GCN on Cora and
 // PubMed with the ring size forced across the sweep, reporting per-layer and
 // total cycles normalized to the best configuration. The paper's shape:
@@ -12,27 +29,28 @@ func (s *Suite) Fig14() (*Table, error) {
 		Title:  "Fig. 14 — Ring-size sensitivity (2-layer GCN, cycles normalized to sweep best)",
 		Header: []string{"dataset", "ring", "layer1", "layer2", "total"},
 	}
-	for _, ds := range []string{"cora", "pubmed"} {
-		m := s.Model("gcn", ds)
-		p := s.Profile(ds)
-		rings := []int{2, 4, 8, 16, 32, 64, 128, 256}
-		type run struct {
-			l1, l2, total int64
+	datasets := []string{"cora", "pubmed"}
+	type run struct {
+		l1, l2, total int64
+	}
+	runs := make([]run, len(datasets)*len(fig14Rings))
+	err := s.each(len(runs), func(i int) error {
+		var r run
+		var err error
+		r.l1, r.l2, r.total, err = s.fig14Run(datasets[i/len(fig14Rings)], fig14Rings[i%len(fig14Rings)])
+		if err != nil {
+			return err
 		}
-		runs := make(map[int]run)
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, ds := range datasets {
+		sweep := runs[di*len(fig14Rings) : (di+1)*len(fig14Rings)]
 		best := run{1 << 62, 1 << 62, 1 << 62}
-		for _, ring := range rings {
-			cfg, err := core.ConfigForMACs(s.MACs)
-			if err != nil {
-				return nil, err
-			}
-			cfg.RingSize = ring
-			r, err := core.MustNew(cfg).Run(m, p)
-			if err != nil {
-				return nil, err
-			}
-			cur := run{r.Layers[0].Cycles, r.Layers[1].Cycles, r.Cycles}
-			runs[ring] = cur
+		for _, cur := range sweep {
 			if cur.l1 < best.l1 {
 				best.l1 = cur.l1
 			}
@@ -43,8 +61,8 @@ func (s *Suite) Fig14() (*Table, error) {
 				best.total = cur.total
 			}
 		}
-		for _, ring := range rings {
-			cur := runs[ring]
+		for ri, ring := range fig14Rings {
+			cur := sweep[ri]
 			t.AddRow(ds, itoa(ring),
 				f2(float64(cur.l1)/float64(best.l1)),
 				f2(float64(cur.l2)/float64(best.l2)),
@@ -58,21 +76,19 @@ func (s *Suite) Fig14() (*Table, error) {
 // Fig14Best returns, per dataset, the ring size with the lowest layer-1
 // cycles across the sweep (test hook for the Eq. 3 anchor).
 func (s *Suite) Fig14Best(dataset string) (int, error) {
-	m := s.Model("gcn", dataset)
-	p := s.Profile(dataset)
+	l1s := make([]int64, len(fig14Rings))
+	err := s.each(len(fig14Rings), func(i int) error {
+		l1, _, _, err := s.fig14Run(dataset, fig14Rings[i])
+		l1s[i] = l1
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
 	bestRing, bestCycles := 0, int64(1)<<62
-	for _, ring := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
-		cfg, err := core.ConfigForMACs(s.MACs)
-		if err != nil {
-			return 0, err
-		}
-		cfg.RingSize = ring
-		r, err := core.MustNew(cfg).Run(m, p)
-		if err != nil {
-			return 0, err
-		}
-		if r.Layers[0].Cycles < bestCycles {
-			bestCycles = r.Layers[0].Cycles
+	for i, ring := range fig14Rings {
+		if l1s[i] < bestCycles {
+			bestCycles = l1s[i]
 			bestRing = ring
 		}
 	}

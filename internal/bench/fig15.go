@@ -1,6 +1,9 @@
 package bench
 
-import "scale/internal/energy"
+import (
+	"scale/internal/arch"
+	"scale/internal/energy"
+)
 
 // Fig15 reproduces the energy breakdown: per accelerator, DRAM / global
 // buffer / local buffer / compute energy accumulated over the Fig. 10
@@ -18,7 +21,7 @@ func (s *Suite) Fig15() (*Table, error) {
 		return nil, err
 	}
 	ref := sums["AWB-GCN"].Total()
-	for _, name := range []string{"AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "SCALE"} {
+	for _, name := range accelOrder {
 		b, ok := sums[name]
 		if !ok || ref == 0 {
 			continue
@@ -35,26 +38,38 @@ func (s *Suite) Fig15() (*Table, error) {
 
 // energyTotals accumulates per-accelerator energy over the GCN cells — the
 // model every architecture supports, so totals are directly comparable (the
-// paper's Fig. 15 likewise normalizes to AWB-GCN).
+// paper's Fig. 15 likewise normalizes to AWB-GCN). The cells fan out across
+// the pool; the float accumulation folds serially in (dataset, accelerator)
+// order so totals are bit-stable run to run.
 func (s *Suite) energyTotals() (map[string]energy.Breakdown, error) {
 	params := energy.DefaultParams()
+	cells := make([]map[string]*arch.Result, len(s.Datasets))
+	err := s.each(len(cells), func(i int) error {
+		cell, err := s.RunCell("gcn", s.Datasets[i])
+		if err != nil {
+			return err
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	sums := map[string]energy.Breakdown{}
-	for _, model := range []string{"gcn"} {
-		for _, ds := range s.Datasets {
-			cell, err := s.RunCell(model, ds)
-			if err != nil {
-				return nil, err
+	for _, cell := range cells {
+		for _, name := range accelOrder {
+			r, ok := cell[name]
+			if !ok {
+				continue
 			}
-			for name, r := range cell {
-				b := energy.Estimate(params, r.Traffic, r.Cycles)
-				acc := sums[name]
-				acc.DRAM += b.DRAM
-				acc.GB += b.GB
-				acc.Local += b.Local
-				acc.Compute += b.Compute
-				acc.Static += b.Static
-				sums[name] = acc
-			}
+			b := energy.Estimate(params, r.Traffic, r.Cycles)
+			acc := sums[name]
+			acc.DRAM += b.DRAM
+			acc.GB += b.GB
+			acc.Local += b.Local
+			acc.Compute += b.Compute
+			acc.Static += b.Static
+			sums[name] = acc
 		}
 	}
 	return sums, nil
@@ -63,8 +78,9 @@ func (s *Suite) energyTotals() (map[string]energy.Breakdown, error) {
 func (s *Suite) baselineMeanEnergy(sums map[string]energy.Breakdown) energy.Breakdown {
 	var out energy.Breakdown
 	n := 0.0
-	for name, b := range sums {
-		if name == "SCALE" {
+	for _, name := range accelOrder {
+		b, ok := sums[name]
+		if !ok || name == "SCALE" {
 			continue
 		}
 		out.DRAM += b.DRAM

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. Tests use
+// it to shrink the heaviest sweeps (the detector costs roughly an order of
+// magnitude) while keeping full coverage in normal builds.
+const raceEnabled = false

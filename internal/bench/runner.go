@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// pool bounds the number of goroutines a sweep may occupy. One pool is
+// shared by every fan-out of a run — the experiment-level fan-out and the
+// sweeps inside individual experiments — so the total concurrency stays at
+// the configured budget no matter how deeply fan-outs nest.
+type pool struct {
+	// sem holds workers-1 slots: the calling goroutine is itself a worker,
+	// so a budget of N admits N-1 helpers.
+	sem chan struct{}
+}
+
+func newPool(workers int) *pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &pool{sem: make(chan struct{}, workers-1)}
+}
+
+// forEach runs fn(0..n-1), spawning a helper goroutine per item while pool
+// slots are free and running the item inline on the caller's goroutine
+// otherwise. Running overflow inline (rather than blocking on a slot) is
+// what makes nested forEach calls deadlock-free: a worker that fans out
+// again always makes progress on its own items. Results must be written to
+// caller-owned, per-index storage; forEach itself returns the first error
+// in index order — independent of completion order — so error reporting is
+// deterministic under any interleaving.
+func (p *pool) forEach(n int, fn func(int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				errs[i] = fn(i)
+			}(i)
+		default:
+			errs[i] = fn(i)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExperimentResult is one experiment's outcome in a Runner sweep.
+type ExperimentResult struct {
+	Experiment Experiment
+	Table      *Table
+	Err        error
+	// Elapsed is the experiment's own wall clock. It is reporting-only:
+	// tables and errors are deterministic, timings are not.
+	Elapsed time.Duration
+}
+
+// Runner executes the evaluation suite on a bounded worker pool. It fans
+// experiments (and, through the suite, the sweeps inside each experiment)
+// across goroutines and reassembles results in input order: result i always
+// corresponds to input experiment i, whatever order the workers finish in.
+//
+// A Runner wires its pool into the Suite, so construct one Runner per Suite
+// and reuse it; two Runners driving one Suite would race on the suite's
+// parallelism setting (the caches themselves stay safe).
+type Runner struct {
+	Suite   *Suite
+	Workers int
+	pool    *pool
+}
+
+// NewRunner returns a Runner with the given worker budget. workers < 1
+// selects runtime.GOMAXPROCS(0). The suite's fan-outs are bounded by the
+// same budget.
+func NewRunner(s *Suite, workers int) *Runner {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := newPool(workers)
+	s.setPool(p)
+	return &Runner{Suite: s, Workers: workers, pool: p}
+}
+
+// Warm fills the suite's result cache for the whole evaluation matrix:
+// every (accelerator, model, dataset) cell, fanned across the pool. The
+// singleflight caches guarantee each profile, redundancy analysis, and
+// simulation runs exactly once even though many workers request them
+// concurrently.
+func (r *Runner) Warm() error {
+	type cell struct{ model, dataset string }
+	s := r.Suite
+	cells := make([]cell, 0, len(s.Models)*len(s.Datasets))
+	for _, m := range s.Models {
+		for _, d := range s.Datasets {
+			cells = append(cells, cell{m, d})
+		}
+	}
+	return r.pool.forEach(len(cells), func(i int) error {
+		_, err := s.RunCell(cells[i].model, cells[i].dataset)
+		return err
+	})
+}
+
+// Run executes the given experiments concurrently and returns their results
+// in input order.
+func (r *Runner) Run(exps []Experiment) []ExperimentResult {
+	out := make([]ExperimentResult, len(exps))
+	_ = r.pool.forEach(len(exps), func(i int) error {
+		start := time.Now()
+		t, err := exps[i].Run(r.Suite)
+		out[i] = ExperimentResult{Experiment: exps[i], Table: t, Err: err, Elapsed: time.Since(start)}
+		return nil // per-experiment errors are carried in the result
+	})
+	return out
+}
+
+// RunAll executes every registered experiment in presentation order.
+func (r *Runner) RunAll() []ExperimentResult {
+	return r.Run(Experiments())
+}

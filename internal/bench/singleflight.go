@@ -1,0 +1,46 @@
+package bench
+
+import "sync"
+
+// sfEntry is one in-flight or completed computation of a cache key.
+type sfEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// sfCache is a per-key singleflight cache. The cache-wide mutex guards only
+// the key→entry map; the computation itself runs under the entry's
+// sync.Once, so concurrent callers of the same key block on exactly one
+// computation while callers of other keys proceed independently — no
+// duplicated work and no serialization on one big lock. Errors are cached
+// alongside values: the suite's computations are deterministic, so a retry
+// would fail identically.
+type sfCache[V any] struct {
+	mu sync.Mutex
+	m  map[string]*sfEntry[V]
+}
+
+func newSFCache[V any]() *sfCache[V] {
+	return &sfCache[V]{m: make(map[string]*sfEntry[V])}
+}
+
+// Do returns the cached value for key, computing it with fn on first use.
+func (c *sfCache[V]) Do(key string, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &sfEntry[V]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
+
+// Len returns the number of keys ever computed or in flight (test hook).
+func (c *sfCache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

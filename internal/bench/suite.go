@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"scale/internal/arch"
@@ -14,6 +15,14 @@ import (
 
 // Suite holds the shared configuration of an evaluation run and caches the
 // expensive inputs (profiles, redundancy analyses, simulation results).
+//
+// A Suite is safe for concurrent use: every cache is a per-key singleflight
+// (one in-flight computation per key, no big lock), and everything a cached
+// computation touches — datasets, models, accelerators, the scheduler — is
+// either immutable or freshly allocated per call. Reconfigure MACs, Models,
+// and Datasets before sharing the suite across goroutines; result-cache
+// keys carry the MAC budget, so a suite reconfigured between runs never
+// serves results computed under an earlier budget.
 type Suite struct {
 	// MACs is the equalized MAC budget (§VII-A: 1024).
 	MACs int
@@ -21,34 +30,59 @@ type Suite struct {
 	Models   []string
 	Datasets []string
 
-	mu          sync.Mutex
-	profiles    map[string]*graph.Profile
-	redundancy  map[string]redundancy.Analysis
-	resultCache map[string]*arch.Result
+	// pool bounds the suite's fan-outs (each); serial until a Runner or
+	// SetParallel installs a wider budget.
+	poolMu sync.Mutex
+	pool   *pool
+
+	profiles   *sfCache[*graph.Profile]
+	redundancy *sfCache[redundancy.Analysis]
+	results    *sfCache[*arch.Result]
+	reduced    *sfCache[*graph.Profile]
 }
 
 // NewSuite returns the §VII-A evaluation suite: 1024 MACs, the four
-// evaluated models, the five Table II datasets.
+// evaluated models, the five Table II datasets. The suite runs serially
+// until a Runner (or SetParallel) installs a worker budget.
 func NewSuite() *Suite {
 	return &Suite{
-		MACs:        1024,
-		Models:      gnn.ModelNames(),
-		Datasets:    graph.DatasetNames(),
-		profiles:    make(map[string]*graph.Profile),
-		redundancy:  make(map[string]redundancy.Analysis),
-		resultCache: make(map[string]*arch.Result),
+		MACs:       1024,
+		Models:     gnn.ModelNames(),
+		Datasets:   graph.DatasetNames(),
+		pool:       newPool(1),
+		profiles:   newSFCache[*graph.Profile](),
+		redundancy: newSFCache[redundancy.Analysis](),
+		results:    newSFCache[*arch.Result](),
+		reduced:    newSFCache[*graph.Profile](),
 	}
+}
+
+// SetParallel sets the worker budget for the suite's internal fan-outs
+// (the sweeps inside figure and table generators). workers < 1 selects
+// runtime.GOMAXPROCS(0); 1 restores serial execution.
+func (s *Suite) SetParallel(workers int) { s.setPool(newPool(workers)) }
+
+func (s *Suite) setPool(p *pool) {
+	s.poolMu.Lock()
+	s.pool = p
+	s.poolMu.Unlock()
+}
+
+// each fans fn(0..n-1) over the suite's worker pool, returning the first
+// error in index order. Generators use it for their independent sweep
+// points; with the default serial pool it is a plain loop.
+func (s *Suite) each(n int, fn func(int) error) error {
+	s.poolMu.Lock()
+	p := s.pool
+	s.poolMu.Unlock()
+	return p.forEach(n, fn)
 }
 
 // Profile returns the (cached) full-size profile of a dataset.
 func (s *Suite) Profile(dataset string) *graph.Profile {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if p, ok := s.profiles[dataset]; ok {
-		return p
-	}
-	p := graph.MustByName(dataset).Profile()
-	s.profiles[dataset] = p
+	p, _ := s.profiles.Do(dataset, func() (*graph.Profile, error) {
+		return graph.MustByName(dataset).Profile(), nil
+	})
 	return p
 }
 
@@ -56,14 +90,34 @@ func (s *Suite) Profile(dataset string) *graph.Profile {
 // on its materialized build (scaled for Nell/Reddit; the captured rate is a
 // structural property that carries to full size — DESIGN.md §1).
 func (s *Suite) Redundancy(dataset string) redundancy.Analysis {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if a, ok := s.redundancy[dataset]; ok {
-		return a
-	}
-	a := redundancy.Analyze(graph.MustByName(dataset).Build())
-	s.redundancy[dataset] = a
+	a, _ := s.redundancy.Do(dataset, func() (redundancy.Analysis, error) {
+		return redundancy.Analyze(graph.MustByName(dataset).Build()), nil
+	})
 	return a
+}
+
+// ReducedProfile returns the (cached) redundancy-reduced profile of a
+// dataset (Table III's SCALE+RR input). Datasets materialized at full scale
+// (the citation graphs) get the exact internal/redundancy rewrite of their
+// built adjacency; for Nell and Reddit — whose full edge lists are never
+// materialized — the captured rate measured on the scaled build is applied
+// to the full-size degree sequence.
+func (s *Suite) ReducedProfile(dataset string) *graph.Profile {
+	p, _ := s.reduced.Do(dataset, func() (*graph.Profile, error) {
+		d := graph.MustByName(dataset)
+		if d.BuildScale == 1.0 {
+			reduced, _ := redundancy.Apply(d.Build())
+			return reduced, nil
+		}
+		p := s.Profile(dataset)
+		rate := s.Redundancy(dataset).CapturedRate()
+		degrees := make([]int32, len(p.Degrees))
+		for i, deg := range p.Degrees {
+			degrees[i] = int32(math.Round(float64(deg) * (1 - rate)))
+		}
+		return graph.NewProfile(p.Name+"+rr", degrees), nil
+	})
+	return p
 }
 
 // Model builds the named model with the dataset's Table II feature chain.
@@ -93,23 +147,27 @@ func (s *Suite) Accelerators(dataset string) []arch.Accelerator {
 	return accels
 }
 
+// accelOrder is the canonical accelerator iteration order (the paper's
+// presentation order). Generators iterate it instead of ranging over result
+// maps so float accumulations visit cells in a fixed order — map iteration
+// order would make exported summary digits vary run to run.
+var accelOrder = []string{"AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "SCALE"}
+
+// cellKey builds the result-cache key for one simulation. It carries the
+// suite's MAC budget in addition to the accelerator's own: the two agree
+// for accelerators the suite built itself, but a caller-supplied
+// accelerator evaluated under a since-reconfigured suite must never collide
+// with entries cached under the earlier budget.
+func (s *Suite) cellKey(a arch.Accelerator, model, dataset string) string {
+	return fmt.Sprintf("%s|%s|%s|macs=%d|budget=%d", a.Name(), model, dataset, a.MACs(), s.MACs)
+}
+
 // Run simulates one (accelerator, model, dataset) cell with caching.
+// Concurrent calls for the same cell share one simulation.
 func (s *Suite) Run(a arch.Accelerator, model, dataset string) (*arch.Result, error) {
-	key := fmt.Sprintf("%s|%s|%s|%d", a.Name(), model, dataset, a.MACs())
-	s.mu.Lock()
-	if r, ok := s.resultCache[key]; ok {
-		s.mu.Unlock()
-		return r, nil
-	}
-	s.mu.Unlock()
-	r, err := a.Run(s.Model(model, dataset), s.Profile(dataset))
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.resultCache[key] = r
-	s.mu.Unlock()
-	return r, nil
+	return s.results.Do(s.cellKey(a, model, dataset), func() (*arch.Result, error) {
+		return a.Run(s.Model(model, dataset), s.Profile(dataset))
+	})
 }
 
 // RunCell returns the results of every accelerator that supports the model
@@ -131,53 +189,10 @@ func (s *Suite) RunCell(model, dataset string) (map[string]*arch.Result, error) 
 }
 
 // Warm fills the result cache for the whole evaluation matrix using up to
-// `workers` goroutines. Every experiment that follows then reads cached
-// results; the accelerators are stateless per Run, so the fan-out is safe.
+// `workers` goroutines. Kept as a convenience wrapper around Runner.Warm;
+// it installs the worker budget on the suite as NewRunner does.
 func (s *Suite) Warm(workers int) error {
-	if workers < 1 {
-		workers = 1
-	}
-	type cell struct{ model, dataset string }
-	var cells []cell
-	for _, m := range s.Models {
-		for _, d := range s.Datasets {
-			cells = append(cells, cell{m, d})
-		}
-	}
-	// Profiles and redundancy analyses first (they gate the accelerators
-	// and share the suite mutex).
-	for _, d := range s.Datasets {
-		s.Profile(d)
-		s.Redundancy(d)
-	}
-	work := make(chan cell)
-	errs := make(chan error, workers)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range work {
-				if _, err := s.RunCell(c.model, c.dataset); err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
-				}
-			}
-		}()
-	}
-	for _, c := range cells {
-		work <- c
-	}
-	close(work)
-	wg.Wait()
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
-	}
+	return NewRunner(s, workers).Warm()
 }
 
 // BaselineFor returns the reference accelerator Fig. 10 normalizes against

@@ -3,6 +3,27 @@
 // each returning a structured Table that renders as ASCII and carries the
 // raw series for tests to assert against. EXPERIMENTS.md records the
 // paper-vs-measured comparison for each.
+//
+// # Concurrency
+//
+// The package is built around a concurrent sweep engine with a determinism
+// guarantee: parallel runs produce byte-identical exports to serial runs.
+//
+//   - Runner fans experiments — and, through the Suite's shared pool, the
+//     sweep points inside each experiment — across a bounded worker pool
+//     and reassembles results in input order (result i is experiment i,
+//     whatever order workers finish in).
+//   - Suite is safe for concurrent use; its caches are per-key
+//     singleflights, so concurrent requests for one cell share a single
+//     simulation. Configure MACs / Models / Datasets before sharing.
+//   - Generators separate the parallel fan-out (indexed writes into
+//     pre-sized slices) from the serial fold (fixed iteration order,
+//     accelOrder for per-accelerator float accumulation), so floating-point
+//     summation order — and therefore every exported digit — is independent
+//     of scheduling. TestDeterminism enforces this end to end.
+//
+// Accelerator models themselves are stateless per Run (the
+// arch.Accelerator contract), which is what lets the engine fan them out.
 package bench
 
 import (

@@ -2,11 +2,8 @@ package bench
 
 import (
 	"fmt"
-	"math"
 
 	"scale/internal/arch"
-	"scale/internal/graph"
-	"scale/internal/redundancy"
 )
 
 // Table3 reproduces the redundancy-removal study: SCALE with HAG-style
@@ -19,14 +16,23 @@ func (s *Suite) Table3() (*Table, error) {
 		Title:  "Table III — SCALE + redundancy removal vs ReGNN (speedup)",
 		Header: []string{"model", "cora", "citeseer", "pubmed", "nell", "reddit"},
 	}
-	for _, model := range []string{"gcn", "ggcn"} {
+	models := []string{"gcn", "ggcn"}
+	cells := make([]float64, len(models)*len(s.Datasets))
+	err := s.each(len(cells), func(i int) error {
+		sp, err := s.Table3Cell(models[i/len(s.Datasets)], s.Datasets[i%len(s.Datasets)])
+		if err != nil {
+			return err
+		}
+		cells[i] = sp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, model := range models {
 		row := []string{model}
-		for _, ds := range s.Datasets {
-			sp, err := s.Table3Cell(model, ds)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f2(sp))
+		for di := range s.Datasets {
+			row = append(row, f2(cells[mi*len(s.Datasets)+di]))
 		}
 		t.AddRow(row...)
 	}
@@ -39,7 +45,7 @@ func (s *Suite) Table3() (*Table, error) {
 // original profile.
 func (s *Suite) Table3Cell(model, dataset string) (float64, error) {
 	p := s.Profile(dataset)
-	rrProfile := s.reducedProfile(dataset)
+	rrProfile := s.ReducedProfile(dataset)
 	m := s.Model(model, dataset)
 
 	scaleRR, err := s.SCALE().Run(m, rrProfile)
@@ -56,25 +62,4 @@ func (s *Suite) Table3Cell(model, dataset string) (float64, error) {
 		}
 	}
 	return arch.Speedup(regnn, scaleRR), nil
-}
-
-// reducedProfile returns the dataset's profile with the captured redundancy
-// factored out. Datasets materialized at full scale (the citation graphs)
-// get the exact internal/redundancy rewrite of their built adjacency; for
-// Nell and Reddit — whose full edge lists are never materialized — the
-// captured rate measured on the scaled build is applied to the full-size
-// degree sequence.
-func (s *Suite) reducedProfile(dataset string) *graph.Profile {
-	d := graph.MustByName(dataset)
-	if d.BuildScale == 1.0 {
-		reduced, _ := redundancy.Apply(d.Build())
-		return reduced
-	}
-	p := s.Profile(dataset)
-	rate := s.Redundancy(dataset).CapturedRate()
-	degrees := make([]int32, len(p.Degrees))
-	for i, deg := range p.Degrees {
-		degrees[i] = int32(math.Round(float64(deg) * (1 - rate)))
-	}
-	return graph.NewProfile(p.Name+"+rr", degrees)
 }

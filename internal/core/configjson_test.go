@@ -5,6 +5,56 @@ import (
 	"testing"
 )
 
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 64, 32
+	cfg.RingSize = 16
+	cfg.DisableDoubleBuffering = true
+	cfg.FeatureBytes = 2.5
+	var b strings.Builder
+	if err := ConfigToJSON(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ConfigFromJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, b.String())
+	}
+	if got != cfg {
+		t.Fatalf("round trip changed the config:\nwant %+v\ngot  %+v", cfg, got)
+	}
+}
+
+// FuzzConfigJSON: parse → validate → re-marshal → re-parse must be the
+// identity on every accepted input, and the parser must never panic.
+func FuzzConfigJSON(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"rows": 64, "cols": 32, "ring_size": 16}`)
+	f.Add(`{"global_buffer_bytes": 8388608, "hbm_bytes_per_cycle": 512}`)
+	f.Add(`{"freq_ghz": 1.5, "feature_bytes": 2.5, "feature_parallel": true}`)
+	f.Add(`{"rows": -1}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, input string) {
+		cfg, err := ConfigFromJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("accepted config fails validation: %v", err)
+		}
+		var b strings.Builder
+		if err := ConfigToJSON(&b, cfg); err != nil {
+			t.Fatalf("re-marshal failed for valid config: %v", err)
+		}
+		again, err := ConfigFromJSON(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, b.String())
+		}
+		if again != cfg {
+			t.Fatalf("round trip not the identity:\nfirst  %+v\nsecond %+v", cfg, again)
+		}
+	})
+}
+
 func TestConfigFromJSONDefaults(t *testing.T) {
 	cfg, err := ConfigFromJSON(strings.NewReader(`{}`))
 	if err != nil {

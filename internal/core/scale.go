@@ -15,6 +15,10 @@ import (
 // per-ring pipelined aggregation (forward reduce chain) and update (backward
 // weight-stationary all-gather), double-buffered dispatch, §IV-B batch
 // sizing, Eq. 3 ring sizing, and per-PE activity counters for utilization.
+//
+// A SCALE value is safe for concurrent use: Run never mutates the receiver —
+// its configuration is copied at construction and all simulation state
+// (schedules, batches, counters) is freshly allocated per call.
 type SCALE struct {
 	cfg Config
 	// Perf is the §IV-B analytical scheduling model.

@@ -10,6 +10,7 @@ package dse
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"scale/internal/core"
 	"scale/internal/energy"
@@ -65,43 +66,95 @@ func (s Space) Size() int {
 	return len(s.Geometries) * len(s.GBBytes) * len(s.UpdateBufBytes)
 }
 
-// Explore evaluates every point of the space on the workload. Points whose
-// configuration fails validation are skipped.
-func Explore(space Space, m *gnn.Model, p *graph.Profile) ([]Point, error) {
-	if space.Size() == 0 {
-		return nil, fmt.Errorf("dse: empty space")
-	}
-	eparams := energy.DefaultParams()
-	aparams := energy.DefaultAreaParams()
-	var points []Point
-	for _, geom := range space.Geometries {
-		for _, gb := range space.GBBytes {
-			for _, buf := range space.UpdateBufBytes {
-				cfg := core.DefaultConfig()
-				cfg.Rows, cfg.Cols = geom[0], geom[1]
-				cfg.GB.CapacityBytes = gb
-				cfg.UpdateBufBytes = buf
-				cfg.WeightBufBytes = buf / 2
-				cfg.AggBufBytes = buf / 2
-				accel, err := core.New(cfg)
-				if err != nil {
-					continue
-				}
-				r, err := accel.Run(m, p)
-				if err != nil {
-					return nil, err
-				}
-				area := energy.Area(aparams, gb,
-					int64(cfg.NumPEs())*cfg.LocalBufBytes(), cfg.TotalMACs(), cfg.Rows)
-				e := energy.Estimate(eparams, r.Traffic, r.Cycles)
-				points = append(points, Point{
+// candidates enumerates the space's configurations in its canonical order
+// (geometry-major, then global buffer, then update buffer).
+func (s Space) candidates() []Point {
+	cands := make([]Point, 0, s.Size())
+	for _, geom := range s.Geometries {
+		for _, gb := range s.GBBytes {
+			for _, buf := range s.UpdateBufBytes {
+				cands = append(cands, Point{
 					Rows: geom[0], Cols: geom[1], GBBytes: gb, UpdateBufBytes: buf,
-					Cycles: r.Cycles, AreaMM2: area.Total(), EnergyPJ: e.Total(),
 				})
 			}
 		}
 	}
+	return cands
+}
+
+// Explore evaluates every point of the space on the workload, serially.
+// Points whose configuration fails validation are skipped.
+func Explore(space Space, m *gnn.Model, p *graph.Profile) ([]Point, error) {
+	return ExploreParallel(space, m, p, 1)
+}
+
+// ExploreParallel evaluates the space with up to `workers` goroutines
+// (workers < 2 runs serially). Each design point is an independent
+// simulation, so evaluations fan out freely; results come back in the
+// space's canonical enumeration order regardless of completion order, and
+// the reported error (if any) is the first in that order. The output is
+// byte-for-byte identical to Explore's.
+func ExploreParallel(space Space, m *gnn.Model, p *graph.Profile, workers int) ([]Point, error) {
+	if space.Size() == 0 {
+		return nil, fmt.Errorf("dse: empty space")
+	}
+	cands := space.candidates()
+	evaluated := make([]*Point, len(cands))
+	errs := make([]error, len(cands))
+	if workers < 2 {
+		for i := range cands {
+			evaluated[i], errs[i] = evaluate(cands[i], m, p)
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := range cands {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				evaluated[i], errs[i] = evaluate(cands[i], m, p)
+			}(i)
+		}
+		wg.Wait()
+	}
+	var points []Point
+	for i := range cands {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if evaluated[i] != nil {
+			points = append(points, *evaluated[i])
+		}
+	}
 	return points, nil
+}
+
+// evaluate simulates one candidate and fills in its metrics. A nil point
+// with nil error means the configuration failed validation (skipped).
+func evaluate(cand Point, m *gnn.Model, p *graph.Profile) (*Point, error) {
+	cfg := core.DefaultConfig()
+	cfg.Rows, cfg.Cols = cand.Rows, cand.Cols
+	cfg.GB.CapacityBytes = cand.GBBytes
+	cfg.UpdateBufBytes = cand.UpdateBufBytes
+	cfg.WeightBufBytes = cand.UpdateBufBytes / 2
+	cfg.AggBufBytes = cand.UpdateBufBytes / 2
+	accel, err := core.New(cfg)
+	if err != nil {
+		return nil, nil
+	}
+	r, err := accel.Run(m, p)
+	if err != nil {
+		return nil, err
+	}
+	area := energy.Area(energy.DefaultAreaParams(), cand.GBBytes,
+		int64(cfg.NumPEs())*cfg.LocalBufBytes(), cfg.TotalMACs(), cfg.Rows)
+	e := energy.Estimate(energy.DefaultParams(), r.Traffic, r.Cycles)
+	cand.Cycles = r.Cycles
+	cand.AreaMM2 = area.Total()
+	cand.EnergyPJ = e.Total()
+	return &cand, nil
 }
 
 // Pareto returns the subset of points not dominated in (cycles, area):

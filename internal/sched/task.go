@@ -8,6 +8,11 @@
 // one PE during the aggregation phase. A TaskGroup is the set of tasks
 // assigned to one PE ring; the group's vertex count determines the ring's
 // update-phase workload.
+//
+// All scheduling entry points are pure functions over their inputs: they
+// never mutate the degree slices or vertex sets they are given and build
+// their result in fresh allocations, so concurrent Schedule calls (the bench
+// sweep engine issues them from many goroutines) need no synchronization.
 package sched
 
 import "fmt"
