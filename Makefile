@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench-smoke verify
+.PHONY: build test race fuzz bench bench-smoke verify
 
 # Tier 1: everything compiles and the full test suite passes.
 build:
@@ -25,6 +25,19 @@ fuzz:
 	$(GO) test ./internal/graph/ -run FuzzParseEdgeList -fuzz FuzzParseEdgeList -fuzztime 20s
 	$(GO) test ./internal/graph/ -run FuzzDecode -fuzz FuzzDecode -fuzztime 20s
 	$(GO) test ./internal/core/ -run FuzzConfigJSON -fuzz FuzzConfigJSON -fuzztime 20s
+
+# Performance tier: run the simulator and scheduler benchmarks with
+# allocation stats and merge the results into the committed perf-trajectory
+# file (BENCH_pr2.json). Override the label to record a new snapshot:
+#   make bench BENCH_LABEL=after BENCH_COUNT=5
+BENCH_COUNT ?= 5
+BENCH_LABEL ?= after
+BENCH_OUT   ?= BENCH_pr2.json
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulate|BenchmarkSchedule' \
+		-benchmem -count $(BENCH_COUNT) \
+		./internal/bench ./internal/core ./internal/sched | \
+		$(GO) run ./cmd/scale-benchjson -label $(BENCH_LABEL) -out $(BENCH_OUT)
 
 # Smoke-run the CLIs end to end.
 bench-smoke:

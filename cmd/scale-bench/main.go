@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,15 +26,42 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id to run (default: all)")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		macs     = flag.Int("macs", 1024, "equalized MAC budget")
-		only     = flag.String("datasets", "", "comma-separated dataset subset (e.g. cora,pubmed)")
-		format   = flag.String("format", "text", "output format: text, csv, json")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the sweep engine (1 = serial)")
-		speedup  = flag.Bool("speedup", false, "run the full suite serially, then at -parallel, and report the wall-clock speedup")
+		exp        = flag.String("exp", "", "experiment id to run (default: all)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		macs       = flag.Int("macs", 1024, "equalized MAC budget")
+		only       = flag.String("datasets", "", "comma-separated dataset subset (e.g. cora,pubmed)")
+		format     = flag.String("format", "text", "output format: text, csv, json")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the sweep engine (1 = serial)")
+		speedup    = flag.Bool("speedup", false, "run the full suite serially, then at -parallel, and report the wall-clock speedup")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to `file` (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

@@ -1,0 +1,229 @@
+// scale-benchjson converts `go test -bench` output (read from stdin) into a
+// machine-readable JSON record and merges it into a perf-trajectory file, so
+// benchmark results are committed as data instead of pasted into prose.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkSimulate' -benchmem -count 5 ./... |
+//	    go run ./cmd/scale-benchjson -label after -out BENCH_pr2.json
+//
+// The output file holds a list of labeled entries ({"label": "before", ...},
+// {"label": "after", ...}); re-running with an existing label replaces that
+// entry in place, so `make bench` is idempotent.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark aggregates every -count repetition of one benchmark function.
+type Benchmark struct {
+	Pkg  string `json:"pkg"`
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the benchmark line (0 if absent).
+	Procs int `json:"procs,omitempty"`
+	// Per-repetition measurements, in run order.
+	Iterations  []int64   `json:"iterations"`
+	NsPerOp     []float64 `json:"ns_per_op"`
+	BytesPerOp  []int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp []int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Entry is one labeled benchmark run (e.g. "before" / "after").
+type Entry struct {
+	Label      string      `json:"label"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the perf-trajectory file layout.
+type File struct {
+	Entries []Entry `json:"entries"`
+}
+
+func main() {
+	var (
+		label = flag.String("label", "run", "label for this entry (e.g. before, after)")
+		out   = flag.String("out", "", "trajectory file to merge into (default: print entry to stdout)")
+	)
+	flag.Parse()
+
+	entry, err := parse(os.Stdin, *label)
+	if err != nil {
+		fatal(err)
+	}
+	if len(entry.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	summarize(entry)
+
+	if *out == "" {
+		emit(os.Stdout, File{Entries: []Entry{*entry}})
+		return
+	}
+	var file File
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			fatal(fmt.Errorf("%s: %w", *out, err))
+		}
+	} else if !os.IsNotExist(err) {
+		fatal(err)
+	}
+	replaced := false
+	for i := range file.Entries {
+		if file.Entries[i].Label == entry.Label {
+			file.Entries[i] = *entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		file.Entries = append(file.Entries, *entry)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	emit(f, file)
+	fmt.Fprintf(os.Stderr, "scale-benchjson: wrote entry %q (%d benchmarks) to %s\n",
+		entry.Label, len(entry.Benchmarks), *out)
+}
+
+// parse reads `go test -bench` output and groups repeated Benchmark lines by
+// (pkg, name).
+func parse(r *os.File, label string) (*Entry, error) {
+	entry := &Entry{Label: label}
+	byKey := map[string]*Benchmark{}
+	var order []string
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			entry.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			entry.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			entry.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name, procs := splitProcs(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		key := pkg + "|" + name
+		b, ok := byKey[key]
+		if !ok {
+			b = &Benchmark{Pkg: pkg, Name: name, Procs: procs}
+			byKey[key] = b
+			order = append(order, key)
+		}
+		b.Iterations = append(b.Iterations, iters)
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				f, err := strconv.ParseFloat(v, 64)
+				if err == nil {
+					b.NsPerOp = append(b.NsPerOp, f)
+				}
+			case "B/op":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err == nil {
+					b.BytesPerOp = append(b.BytesPerOp, n)
+				}
+			case "allocs/op":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err == nil {
+					b.AllocsPerOp = append(b.AllocsPerOp, n)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, key := range order {
+		entry.Benchmarks = append(entry.Benchmarks, *byKey[key])
+	}
+	return entry, nil
+}
+
+// splitProcs splits "BenchmarkFoo-8" into ("BenchmarkFoo", 8).
+func splitProcs(s string) (string, int) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return s, 0
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return s, 0
+	}
+	return s[:i], n
+}
+
+// summarize prints a median-ns/op table to stderr so the human sees what the
+// JSON records.
+func summarize(e *Entry) {
+	fmt.Fprintf(os.Stderr, "%-42s %14s %12s %12s\n", "benchmark", "median ns/op", "B/op", "allocs/op")
+	for _, b := range e.Benchmarks {
+		fmt.Fprintf(os.Stderr, "%-42s %14.0f %12s %12s\n",
+			b.Name, median(b.NsPerOp), medianInt(b.BytesPerOp), medianInt(b.AllocsPerOp))
+	}
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func medianInt(xs []int64) string {
+	if len(xs) == 0 {
+		return "-"
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return strconv.FormatInt(s[len(s)/2], 10)
+}
+
+func emit(f *os.File, file File) {
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(file); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scale-benchjson:", err)
+	os.Exit(1)
+}

@@ -22,8 +22,15 @@ func (s *Suite) Fig1a() (*Table, error) {
 	points := make([]balance, len(s.Datasets)*len(policies))
 	err := s.each(len(points), func(i int) error {
 		p := s.Profile(s.Datasets[i/len(policies)])
-		groups, err := sched.Schedule(p.Degrees, sched.AllVertices(p.NumVertices()),
-			sched.Config{NumTasks: units, NumGroups: units / 16, Policy: policies[i%len(policies)]})
+		// Balance metrics read only group counts, so schedule compactly
+		// (no vertex-id materialization) over the profile's shared
+		// vertex slice.
+		sc, err := sched.NewScheduler(
+			sched.Config{NumTasks: units, NumGroups: units / 16, Policy: policies[i%len(policies)]}, false)
+		if err != nil {
+			return err
+		}
+		groups, err := sc.Schedule(p.Degrees, p.Vertices())
 		if err != nil {
 			return err
 		}

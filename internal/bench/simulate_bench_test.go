@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"testing"
+
+	"scale/internal/arch"
+	"scale/internal/gnn"
+	"scale/internal/graph"
+)
+
+// The BenchmarkSimulate* set measures end-to-end simulator throughput — the
+// quantity that bounds every sweep worker. Accelerators and profiles are
+// built once (as the suite does) and each iteration re-runs the simulations
+// from scratch, so the numbers capture the steady-state cost of a cell the
+// way the evaluation matrix pays it: one profile shared across many
+// accelerator × model runs.
+
+// simulateCell runs every accelerator that supports the model over the
+// dataset's full-size profile.
+func simulateCell(b *testing.B, accels []arch.Accelerator, m *gnn.Model, p *graph.Profile) {
+	for _, a := range accels {
+		if !a.Supports(m) {
+			continue
+		}
+		if _, err := a.Run(m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Multi-accelerator: SCALE plus the four baselines on GCN/Cora (the fig10
+// inner loop for one cell).
+func BenchmarkSimulateGCNCoraAllAccels(b *testing.B) {
+	s := NewSuite()
+	accels := s.Accelerators("cora")
+	m := s.Model("gcn", "cora")
+	p := s.Profile("cora")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		simulateCell(b, accels, m, p)
+	}
+}
+
+// Multi-model, multi-accelerator: the full 4-model evaluation column of one
+// dataset (20 simulations per iteration).
+func BenchmarkSimulatePubmedMatrix(b *testing.B) {
+	s := NewSuite()
+	accels := s.Accelerators("pubmed")
+	models := make([]*gnn.Model, 0, len(s.Models))
+	for _, name := range s.Models {
+		models = append(models, s.Model(name, "pubmed"))
+	}
+	p := s.Profile("pubmed")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range models {
+			simulateCell(b, accels, m, p)
+		}
+	}
+}
+
+// Multi-layer: an 8-layer GCN on the PubMed profile, exercising the per-layer
+// re-scheduling path the schedule memo collapses.
+func BenchmarkSimulateDeepGCNPubmed(b *testing.B) {
+	s := NewSuite()
+	d := graph.MustByName("pubmed")
+	dims := []int{d.FeatureDims[0], 64, 64, 64, 64, 64, 64, d.FeatureDims[len(d.FeatureDims)-1]}
+	m := gnn.MustModel("gcn", dims, 1)
+	accel := s.SCALE()
+	p := s.Profile("pubmed")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := accel.Run(m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The heavy case: SCALE plus baselines on the full-size Reddit profile
+// (114M edges as degrees, 233k vertices).
+func BenchmarkSimulateGCNRedditAllAccels(b *testing.B) {
+	s := NewSuite()
+	accels := s.Accelerators("reddit")
+	m := s.Model("gcn", "reddit")
+	p := s.Profile("reddit")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		simulateCell(b, accels, m, p)
+	}
+}

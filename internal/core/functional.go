@@ -59,10 +59,17 @@ func (s *SCALE) forwardLayer(li int, layer gnn.Layer, g *graph.Graph, degrees []
 	msg := make([]float32, width)
 	acc := make([]float32, width)
 
-	schedCfg := sched.Config{NumTasks: numPEs, NumGroups: nRings, Policy: cfg.Policy}
+	// The functional executor walks per-vertex work, so it needs
+	// materialized vertex ids; the scheduler is still reused across
+	// batches (groups are consumed within each iteration).
+	scheduler, err := sched.NewScheduler(
+		sched.Config{NumTasks: numPEs, NumGroups: nRings, Policy: cfg.Policy}, true)
+	if err != nil {
+		return nil, fmt.Errorf("core: layer %d: %w", li, err)
+	}
 	seen := make([]bool, g.NumVertices())
 	for _, vb := range sched.Batches(g.NumVertices(), batch) {
-		groups, err := sched.Schedule(degrees, vb, schedCfg)
+		groups, err := scheduler.Schedule(degrees, vb)
 		if err != nil {
 			return nil, fmt.Errorf("core: layer %d: %w", li, err)
 		}

@@ -127,28 +127,28 @@ func (s *SCALE) runLayerTraced(li int, w gnn.LayerWork, p *graph.Profile) (arch.
 	}
 
 	var (
-		stats    []batchStats
 		traffic  mem.Traffic
 		totalV   = p.NumVertices()
 		schedCfg = sched.Config{NumTasks: numPEs, NumGroups: nRings, Policy: cfg.Policy}
 	)
-	for _, vb := range sched.Batches(totalV, batch) {
-		groups, err := sched.Schedule(p.Degrees, vb, schedCfg)
-		if err != nil {
-			return arch.LayerResult{}, mem.Traffic{}, LayerTrace{}, fmt.Errorf("core: layer %d: %w", li, err)
-		}
-		st := s.batchTiming(groups, w, ringSize)
+	// The schedule depends only on (degrees, batch, schedCfg): computed once
+	// per profile and shared read-only across layers, accelerators, and
+	// sweep workers (see schedmemo.go).
+	ls, err := scheduleFor(p, batch, schedCfg)
+	if err != nil {
+		return arch.LayerResult{}, mem.Traffic{}, LayerTrace{}, fmt.Errorf("core: layer %d: %w", li, err)
+	}
+	stats := make([]batchStats, 0, len(ls.batches))
+	for _, bs := range ls.batches {
+		st := s.batchTiming(bs.groups, w, ringSize)
 		stats = append(stats, st)
 
 		// Traffic: prepared source features cross the GB→register
 		// boundary once per edge-touch; vertex inputs and outputs once
 		// per vertex. Intermediates (partial aggregations, circulating
 		// feature vectors) live in registers — SCALE's reuse story.
-		var eb int64
-		for _, g := range groups {
-			eb += g.Edges()
-		}
-		vb64 := int64(len(vb))
+		eb := bs.edges
+		vb64 := bs.vertices
 		fb := cfg.FeatureBytes
 		traffic.GBReadBytes += int64(float64(eb*int64(w.MsgDim))*fb) + int64(float64(vb64*int64(w.InDim))*fb)
 		traffic.GBWriteBytes += int64(float64(vb64*int64(w.OutDim)) * fb)
@@ -322,7 +322,7 @@ func (s *SCALE) runLayerTraced(li int, w gnn.LayerWork, p *graph.Profile) (arch.
 // fabric. A ring's makespan is therefore its total ops over 2·S MACs, plus
 // pipeline fills: one register-array preload per task wave and the S−1 hops
 // of the last vertex's update traversal (§III-B.2).
-func (s *SCALE) batchTiming(groups []*sched.TaskGroup, w gnn.LayerWork, ringSize int) batchStats {
+func (s *SCALE) batchTiming(groups []groupLoad, w gnn.LayerWork, ringSize int) batchStats {
 	var st batchStats
 	S := int64(ringSize)
 	// Feature parallelism: the feature dimension is sliced across rings,
@@ -334,21 +334,21 @@ func (s *SCALE) batchTiming(groups []*sched.TaskGroup, w gnn.LayerWork, ringSize
 	var totalE, totalV int64
 	if featureParallel {
 		for _, g := range groups {
-			totalE += g.Edges()
-			totalV += int64(g.NumVertices())
+			totalE += g.edges
+			totalV += g.vertices
 		}
 	}
 	nGroups := int64(len(groups))
 	for _, g := range groups {
-		e := g.Edges()
-		v := int64(g.NumVertices())
+		e := g.edges
+		v := g.vertices
 		if featureParallel {
 			e = (totalE + nGroups - 1) / nGroups
 			v = (totalV + nGroups - 1) / nGroups
 		}
 		aggOps := e*(w.GateOpsPerEdge+w.ReduceOpsPerEdge) + v*(w.PreMACsPerVertex+w.DstMACsPerVertex)
 		updOps := v * w.UpdateMACsPerVertex
-		fill := int64(len(g.Tasks))/S + S // task-wave preloads + update drain
+		fill := int64(g.tasks)/S + S // task-wave preloads + update drain
 		if featureParallel {
 			// Cross-ring exchange: each aggregated slice hops to the
 			// ring holding its update partition.

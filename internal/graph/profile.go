@@ -5,16 +5,32 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Profile is the structure-only view of a graph: the per-vertex in-degree
 // sequence. Scheduling (Algorithm 1 of the paper) and the task-level timing
 // engine depend only on degrees, so full-size datasets such as Reddit
 // (114M edges) can be simulated without materializing adjacency lists.
+//
+// A Profile is immutable after construction and safe for concurrent use;
+// scalar statistics (edge total, max degree, Gini) are computed once, and
+// derived structure-only state — the shared vertex slice and anything the
+// simulators attach through Memoize — is built lazily with singleflight
+// semantics. Do not mutate Degrees after handing the profile out.
 type Profile struct {
 	Name    string
 	Degrees []int32
 	edges   int64
+	maxDeg  int32
+
+	giniOnce sync.Once
+	gini     float64
+
+	vertsOnce sync.Once
+	verts     []int32
+
+	memo sync.Map // comparable key → *memoEntry
 }
 
 // NewProfile wraps a degree sequence.
@@ -25,6 +41,9 @@ func NewProfile(name string, degrees []int32) *Profile {
 			panic(fmt.Sprintf("graph: negative degree %d in profile %q", d, name))
 		}
 		p.edges += int64(d)
+		if d > p.maxDeg {
+			p.maxDeg = d
+		}
 	}
 	return p
 }
@@ -48,15 +67,65 @@ func (p *Profile) AvgDegree() float64 {
 	return float64(p.edges) / float64(len(p.Degrees))
 }
 
-// MaxDegree returns the maximum in-degree.
-func (p *Profile) MaxDegree() int {
-	max := int32(0)
-	for _, d := range p.Degrees {
-		if d > max {
-			max = d
+// MaxDegree returns the maximum in-degree (cached at construction; the
+// timing engine reads it per layer).
+func (p *Profile) MaxDegree() int { return int(p.maxDeg) }
+
+// Vertices returns the profile's vertex ids 0..|V|-1 as one shared,
+// read-only backing slice, built on first use. Batchings subslice it
+// (see Batches), so no simulation layer re-materializes the id range.
+func (p *Profile) Vertices() []int32 {
+	p.vertsOnce.Do(func() {
+		vs := make([]int32, len(p.Degrees))
+		for i := range vs {
+			vs[i] = int32(i)
 		}
+		p.verts = vs
+	})
+	return p.verts
+}
+
+// Batches splits the profile's vertices into consecutive scheduling batches
+// of size b (b < 1 means one batch). The batches are subslices of the shared
+// Vertices slice — no per-call vertex materialization.
+func (p *Profile) Batches(b int) [][]int32 {
+	all := p.Vertices()
+	n := len(all)
+	if b < 1 {
+		b = n
 	}
-	return int(max)
+	var out [][]int32
+	for start := 0; start < n; start += b {
+		end := start + b
+		if end > n {
+			end = n
+		}
+		out = append(out, all[start:end])
+	}
+	return out
+}
+
+// memoEntry is one singleflight slot of a profile's memo table.
+type memoEntry struct {
+	once sync.Once
+	val  any
+}
+
+// Memoize returns the value for key, computing it at most once for this
+// profile: concurrent callers with the same key share a single computation
+// (singleflight), and later callers get the cached value. Keys must be
+// comparable; values must be safe to share read-only (they are returned to
+// every caller). The simulators use this to attach schedule state that
+// depends only on the degree sequence — computed once, reused across
+// layers, accelerators, and sweep workers.
+func (p *Profile) Memoize(key any, compute func() any) any {
+	e, ok := p.memo.Load(key)
+	if !ok {
+		e, _ = p.memo.LoadOrStore(key, &memoEntry{})
+	}
+	entry := e.(*memoEntry)
+	entry.once.Do(func() { entry.val = compute() })
+	return entry.val
 }
 
 // String describes the profile.
@@ -108,8 +177,14 @@ func SyntheticProfile(name string, vertices int, edges int64, skew float64, seed
 
 // Gini returns the Gini coefficient of the degree sequence, a scalar measure
 // of workload skew used by the motivation study (Fig. 1a): 0 is perfectly
-// uniform, →1 is maximally concentrated.
+// uniform, →1 is maximally concentrated. The sorted pass runs once per
+// profile; repeated calls return the cached coefficient.
 func (p *Profile) Gini() float64 {
+	p.giniOnce.Do(func() { p.gini = p.computeGini() })
+	return p.gini
+}
+
+func (p *Profile) computeGini() float64 {
 	n := len(p.Degrees)
 	if n == 0 || p.edges == 0 {
 		return 0

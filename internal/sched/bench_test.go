@@ -30,3 +30,82 @@ func BenchmarkScheduleVertexAwareFullGraph(b *testing.B) {
 		}
 	}
 }
+
+// redditScaleProfile is a Reddit-scale synthetic workload: ~233k vertices,
+// power-law skew, full Table II edge count.
+func redditScaleProfile() *graph.Profile {
+	return graph.SyntheticProfile("reddit-scale", 232965, 114615892, 0.8, 42)
+}
+
+// One 16K-vertex batch of the Reddit-scale profile through Algorithm 1 — the
+// hot call of a full-size timing run.
+func BenchmarkScheduleDVSRedditBatch(b *testing.B) {
+	p := redditScaleProfile()
+	batch := AllVertices(16384)
+	cfg := Config{NumTasks: 512, NumGroups: 32, Policy: DegreeVertexAware}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(p.Degrees, batch, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The whole Reddit-scale vertex set scheduled batch by batch (one full
+// simulated layer's scheduling work).
+func BenchmarkScheduleDVSRedditFullLayer(b *testing.B) {
+	p := redditScaleProfile()
+	cfg := Config{NumTasks: 512, NumGroups: 32, Policy: DegreeVertexAware}
+	batches := Batches(p.NumVertices(), 16384)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, vb := range batches {
+			if _, err := Schedule(p.Degrees, vb, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// The same batch through a reused compact Scheduler — the steady-state hot
+// path the timing engine actually runs (counting sort + recycled scratch,
+// no vertex-id materialization). Expect ~0 allocs/op.
+func BenchmarkScheduleCompactRedditBatch(b *testing.B) {
+	p := redditScaleProfile()
+	batch := AllVertices(16384)
+	s, err := NewScheduler(Config{NumTasks: 512, NumGroups: 32, Policy: DegreeVertexAware}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Schedule(p.Degrees, batch); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(p.Degrees, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The full Reddit-scale layer through a reused compact Scheduler.
+func BenchmarkScheduleCompactRedditFullLayer(b *testing.B) {
+	p := redditScaleProfile()
+	s, err := NewScheduler(Config{NumTasks: 512, NumGroups: 32, Policy: DegreeVertexAware}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := Batches(p.NumVertices(), 16384)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, vb := range batches {
+			if _, err := s.Schedule(p.Degrees, vb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,10 +1,6 @@
 package sched
 
-import (
-	"fmt"
-	"math"
-	"sort"
-)
+import "fmt"
 
 // Policy selects the workload-partitioning strategy.
 type Policy int
@@ -58,37 +54,20 @@ func (c Config) Validate() error {
 // Schedule partitions the vertex batch into NumGroups task groups holding
 // NumTasks tasks in total. degrees is indexed by vertex id; batch lists the
 // vertex ids to schedule (one pipeline batch of size B, §IV-A). Every vertex
-// in batch appears in exactly one task.
+// in batch appears in exactly one task, and tasks materialize their vertex-id
+// lists.
+//
+// Schedule is a pure function building its result in fresh allocations, so
+// concurrent calls need no synchronization and results may be retained
+// indefinitely. Hot paths that schedule many batches under one configuration
+// use a reusable Scheduler instead (usually in compact mode), which
+// recycles every buffer across calls.
 func Schedule(degrees []int32, batch []int32, cfg Config) ([]*TaskGroup, error) {
-	if err := cfg.Validate(); err != nil {
+	s, err := NewScheduler(cfg, true)
+	if err != nil {
 		return nil, err
 	}
-	for _, v := range batch {
-		if v < 0 || int(v) >= len(degrees) {
-			return nil, fmt.Errorf("sched: vertex %d outside degree table of %d", v, len(degrees))
-		}
-	}
-	var tasks []*Task
-	switch cfg.Policy {
-	case DegreeVertexAware:
-		tasks = firstFit(degrees, batch, cfg.NumTasks, true)
-	case DegreeAware:
-		// Edge-centric prior work fills bins sequentially, which is
-		// precisely what leaves vertex counts unbalanced (Fig. 13b).
-		tasks = firstFit(degrees, batch, cfg.NumTasks, false)
-	case VertexAware:
-		tasks = vertexChunks(degrees, batch, cfg.NumTasks)
-	default:
-		return nil, fmt.Errorf("sched: unknown policy %v", cfg.Policy)
-	}
-	switch cfg.Policy {
-	case DegreeVertexAware:
-		return groupVertexSorted(tasks, cfg.NumGroups), nil
-	case DegreeAware:
-		return groupEdgeGreedy(tasks, cfg.NumGroups), nil
-	default:
-		return groupRoundRobin(tasks, cfg.NumGroups), nil
-	}
+	return s.Schedule(degrees, batch)
 }
 
 // firstFit is Algorithm 1's First_Fit: bins are fixed at numTasks and each
@@ -97,171 +76,23 @@ func Schedule(degrees []int32, batch []int32, cfg Config) ([]*TaskGroup, error) 
 // decreasing, the standard bin-packing refinement): power-law hubs whose
 // degree exceeds the target then land one-per-bin through the least-loaded
 // fallback instead of colliding, which is what lets the wrap-around ring
-// mapping (§III-B) absorb them.
+// mapping (§III-B) absorb them. Retained as the test seam for the binning
+// phase alone; production paths go through Scheduler.
 func firstFit(degrees []int32, batch []int32, numTasks int, rotate bool) []*Task {
-	order := make([]int32, len(batch))
-	copy(order, batch)
-	sort.SliceStable(order, func(i, j int) bool {
-		return degrees[order[i]] > degrees[order[j]]
-	})
-	var total int64
-	for _, v := range batch {
-		total += int64(degrees[v])
+	s, err := NewScheduler(Config{NumTasks: numTasks, NumGroups: 1}, true)
+	if err != nil {
+		panic(err)
 	}
-	target := (total + int64(numTasks) - 1) / int64(numTasks)
-	tasks := make([]*Task, numTasks)
-	for i := range tasks {
-		tasks[i] = &Task{ID: i}
+	if err := s.sortByDegreeDesc(degrees, batch); err != nil {
+		panic(err)
 	}
-	// The scan cursor rotates on every placement: plain first-fit would
-	// funnel runs of equal-degree vertices (in particular the zero-degree
-	// tail of redundancy-reduced workloads) into the lowest-indexed bins,
-	// blowing up their vertex counts even though edges stay balanced.
-	cursor := 0
-	for _, v := range order {
-		d := int64(degrees[v])
-		placed := false
-		for i := 0; i < numTasks; i++ {
-			t := tasks[(cursor+i)%numTasks]
-			if t.Edges+d <= target {
-				t.Vertices = append(t.Vertices, v)
-				t.Edges += d
-				if rotate {
-					cursor = (cursor + i + 1) % numTasks
-				}
-				placed = true
-				break
-			}
-		}
-		if !placed {
-			least := tasks[0]
-			for _, t := range tasks[1:] {
-				if t.Edges < least.Edges {
-					least = t
-				}
-			}
-			least.Vertices = append(least.Vertices, v)
-			least.Edges += d
-		}
-	}
-	return tasks
+	s.binFirstFit(degrees, s.order, rotate)
+	return s.taskPtrs
 }
 
-// vertexChunks assigns equal vertex counts per task in batch order,
-// disregarding degrees — the S+VS ablation policy.
-func vertexChunks(degrees []int32, batch []int32, numTasks int) []*Task {
-	tasks := make([]*Task, numTasks)
-	for i := range tasks {
-		tasks[i] = &Task{ID: i}
-	}
-	per := (len(batch) + numTasks - 1) / numTasks
-	for i, v := range batch {
-		t := tasks[min(i/max(per, 1), numTasks-1)]
-		t.Vertices = append(t.Vertices, v)
-		t.Edges += int64(degrees[v])
-	}
-	return tasks
-}
-
-// groupVertexSorted implements Algorithm 1's second phase — combining
-// edge-balanced tasks into vertex-balanced task groups with what the paper
-// calls "a modified vertex-aware scheduling approach". Tasks are sorted by
-// vertex count (as in the pseudocode) and then placed greedily into the
-// group with the lowest combined normalized load across both dimensions,
-// pairing vertex-heavy tasks with vertex-light ones while keeping the hub
-// tasks that overflowed the first-fit edge target from piling into one ring.
-func groupVertexSorted(tasks []*Task, numGroups int) []*TaskGroup {
-	var totalV, totalE float64
-	for _, t := range tasks {
-		totalV += float64(len(t.Vertices))
-		totalE += float64(t.Edges)
-	}
-	// Per-group targets normalize the two load dimensions.
-	targetV := totalV/float64(numGroups) + 1
-	targetE := totalE/float64(numGroups) + 1
-	// Largest-task-first in normalized size (LPT): the few hub tasks that
-	// overflowed the first-fit edge target are placed while groups are
-	// still empty, and the many near-target tasks then smooth both
-	// dimensions.
-	size := func(t *Task) float64 {
-		sv := float64(len(t.Vertices)) / targetV
-		se := float64(t.Edges) / targetE
-		if se > sv {
-			return se
-		}
-		return sv
-	}
-	sorted := make([]*Task, len(tasks))
-	copy(sorted, tasks)
-	sort.SliceStable(sorted, func(i, j int) bool { return size(sorted[i]) > size(sorted[j]) })
-	groups := newGroups(numGroups)
-	gv := make([]float64, numGroups)
-	ge := make([]float64, numGroups)
-	for _, t := range sorted {
-		best, bestScore := 0, math.Inf(1)
-		for i := range groups {
-			nv := (gv[i] + float64(len(t.Vertices))) / targetV
-			ne := (ge[i] + float64(t.Edges)) / targetE
-			// Minimize the worse of the two dimensions so neither
-			// phase's balance is sacrificed; break ties on the sum.
-			score := math.Max(nv, ne) + 1e-3*(nv+ne)
-			if score < bestScore {
-				best, bestScore = i, score
-			}
-		}
-		groups[best].Tasks = append(groups[best].Tasks, t)
-		gv[best] += float64(len(t.Vertices))
-		ge[best] += float64(t.Edges)
-	}
-	return groups
-}
-
-// groupEdgeGreedy balances only the edge dimension (largest-edges-first into
-// the least-edge-loaded group): the pure degree-aware ablation policy
-// (Fig. 13b, S+DS). Aggregation balance is near-perfect; vertex counts —
-// and hence update utilization — are left to chance. (With 16 tasks per
-// ring the vertex luck partially averages out, so our S+DS update
-// utilization lands near 90 % where the paper reports 58.7 %; the direction
-// of the ablation is preserved.)
-func groupEdgeGreedy(tasks []*Task, numGroups int) []*TaskGroup {
-	sorted := make([]*Task, len(tasks))
-	copy(sorted, tasks)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Edges > sorted[j].Edges })
-	groups := newGroups(numGroups)
-	load := make([]int64, numGroups)
-	for _, t := range sorted {
-		best := 0
-		for i, l := range load {
-			if l < load[best] {
-				best = i
-			}
-		}
-		groups[best].Tasks = append(groups[best].Tasks, t)
-		load[best] += t.Edges
-	}
-	return groups
-}
-
-// groupRoundRobin places task i into group i % G_n without sorting — the
-// grouping used by the vertex-aware ablation policy.
-func groupRoundRobin(tasks []*Task, numGroups int) []*TaskGroup {
-	groups := newGroups(numGroups)
-	for i, t := range tasks {
-		g := groups[i%numGroups]
-		g.Tasks = append(g.Tasks, t)
-	}
-	return groups
-}
-
-func newGroups(n int) []*TaskGroup {
-	groups := make([]*TaskGroup, n)
-	for i := range groups {
-		groups[i] = &TaskGroup{ID: i}
-	}
-	return groups
-}
-
-// AllVertices enumerates 0..n-1 as a batch covering a whole profile.
+// AllVertices enumerates 0..n-1 as a batch covering a whole profile. Callers
+// holding a graph.Profile use its shared Vertices slice instead of
+// re-materializing one.
 func AllVertices(n int) []int32 {
 	vs := make([]int32, n)
 	for i := range vs {
@@ -273,10 +104,17 @@ func AllVertices(n int) []int32 {
 // Batches splits 0..n-1 into consecutive batches of size b (the §IV-A
 // pipeline batching with batch size B).
 func Batches(n, b int) [][]int32 {
+	return BatchesOf(AllVertices(n), b)
+}
+
+// BatchesOf splits the vertex slice into consecutive subslices of size b
+// without copying, so one backing slice (e.g. graph.Profile.Vertices) serves
+// every batching granularity.
+func BatchesOf(all []int32, b int) [][]int32 {
+	n := len(all)
 	if b < 1 {
 		b = n
 	}
-	all := AllVertices(n)
 	var out [][]int32
 	for start := 0; start < n; start += b {
 		end := start + b

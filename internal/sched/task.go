@@ -9,23 +9,32 @@
 // assigned to one PE ring; the group's vertex count determines the ring's
 // update-phase workload.
 //
-// All scheduling entry points are pure functions over their inputs: they
-// never mutate the degree slices or vertex sets they are given and build
-// their result in fresh allocations, so concurrent Schedule calls (the bench
-// sweep engine issues them from many goroutines) need no synchronization.
+// No scheduling entry point mutates the degree slices or vertex sets it is
+// given. The package-level Schedule function additionally builds its result
+// in fresh allocations, so concurrent Schedule calls (the bench sweep engine
+// issues them from many goroutines) need no synchronization; the reusable
+// Scheduler trades that purity for an allocation-free steady state and is
+// confined to one goroutine.
 package sched
 
 import "fmt"
 
 // Task is a bin of vertices whose aggregations execute on one PE.
+//
+// The timing engine and the balance metrics consume only the task's vertex
+// count and edge sum, so compact schedules (Scheduler's default) leave
+// Vertices empty and carry just the counters; materialized schedules (the
+// Schedule function, or NewScheduler with materialize=true) list the vertex
+// ids explicitly for callers that execute or trace per-vertex work.
 type Task struct {
 	ID       int
-	Vertices []int32 // vertex ids
+	Vertices []int32 // vertex ids; empty in compact mode
 	Edges    int64   // total in-degree of the task's vertices
+	count    int     // vertex count, valid in both modes
 }
 
 // NumVertices returns the number of vertices in the task.
-func (t *Task) NumVertices() int { return len(t.Vertices) }
+func (t *Task) NumVertices() int { return t.count }
 
 // TaskGroup is the set of tasks mapped onto one PE ring.
 type TaskGroup struct {
@@ -46,7 +55,7 @@ func (g *TaskGroup) Edges() int64 {
 func (g *TaskGroup) NumVertices() int {
 	n := 0
 	for _, t := range g.Tasks {
-		n += len(t.Vertices)
+		n += t.count
 	}
 	return n
 }
