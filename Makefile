@@ -14,10 +14,13 @@ test: build
 	$(GO) test ./...
 
 # Tier 2: race detector over the concurrent sweep engine (and the packages
-# it drives). The bench tests shrink their heaviest sweeps under -race
-# (see internal/bench/race_on.go) to keep this tractable.
+# it drives) plus the parallel execution engine (tensor row fan-out, the
+# row-parallel reference executor, the group-parallel functional executor).
+# The bench tests shrink their heaviest sweeps under -race (see
+# internal/bench/race_on.go) to keep this tractable.
 race:
 	$(GO) test -race ./internal/bench/... ./internal/dse/...
+	$(GO) test -race ./internal/tensor/ ./internal/gnn/ ./internal/core/
 
 # Tier 3: short fuzz passes over the parsers (graph edge lists, binary
 # graph decoding, config JSON round-trip).
@@ -26,17 +29,18 @@ fuzz:
 	$(GO) test ./internal/graph/ -run FuzzDecode -fuzz FuzzDecode -fuzztime 20s
 	$(GO) test ./internal/core/ -run FuzzConfigJSON -fuzz FuzzConfigJSON -fuzztime 20s
 
-# Performance tier: run the simulator and scheduler benchmarks with
-# allocation stats and merge the results into the committed perf-trajectory
-# file (BENCH_pr2.json). Override the label to record a new snapshot:
+# Performance tier: run the simulator, scheduler, and forward-execution
+# benchmarks with allocation stats and merge the results into the committed
+# perf-trajectory file (BENCH_pr3.json). Override the label to record a new
+# snapshot:
 #   make bench BENCH_LABEL=after BENCH_COUNT=5
 BENCH_COUNT ?= 5
 BENCH_LABEL ?= after
-BENCH_OUT   ?= BENCH_pr2.json
+BENCH_OUT   ?= BENCH_pr3.json
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulate|BenchmarkSchedule' \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulate|BenchmarkSchedule|BenchmarkForward' \
 		-benchmem -count $(BENCH_COUNT) \
-		./internal/bench ./internal/core ./internal/sched | \
+		./internal/bench ./internal/core ./internal/sched ./internal/gnn | \
 		$(GO) run ./cmd/scale-benchjson -label $(BENCH_LABEL) -out $(BENCH_OUT)
 
 # Smoke-run the CLIs end to end.

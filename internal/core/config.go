@@ -71,6 +71,20 @@ type Config struct {
 	FeatureParallel bool
 }
 
+// defaultBatchSize is the scheduling batch B used when Config.BatchSize is 0
+// and no analytical model (§IV-B) overrides it — shared by the functional
+// executor and the timing engine's clamp floor.
+const defaultBatchSize = 1024
+
+// EffectiveBatchSize resolves the task-scheduling batch B: the configured
+// BatchSize, or defaultBatchSize when unset.
+func (c Config) EffectiveBatchSize() int {
+	if c.BatchSize == 0 {
+		return defaultBatchSize
+	}
+	return c.BatchSize
+}
+
 // DefaultConfig returns the §VII-A evaluation configuration.
 func DefaultConfig() Config {
 	return Config{

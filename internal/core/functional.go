@@ -9,6 +9,87 @@ import (
 	"scale/internal/tensor"
 )
 
+// fwdWorker owns one executor goroutine's scratch: the buf backing slice is
+// viewed as msg | acc | update-scratch windows sized per layer, and err
+// carries the first failure the worker hit (collected after the per-batch
+// barrier).
+type fwdWorker struct {
+	buf               []float32
+	msg, acc, scratch []float32
+	err               error
+}
+
+// fwdState is the recycled per-call state of the functional executor. It is
+// pooled on the SCALE value so repeated Forward calls reuse the seen table,
+// the batch list, the compact schedulers (one per ring geometry the model's
+// layers select), and every worker's scratch — the steady-state hot path
+// allocates only the per-layer output matrices.
+type fwdState struct {
+	seen       []bool
+	degrees    []int32
+	verts      []int32
+	batches    [][]int32
+	schedulers map[sched.Config]*sched.Scheduler
+	workers    []fwdWorker
+}
+
+func (st *fwdState) scheduler(cfg sched.Config) (*sched.Scheduler, error) {
+	if st.schedulers == nil {
+		st.schedulers = make(map[sched.Config]*sched.Scheduler)
+	}
+	if s, ok := st.schedulers[cfg]; ok {
+		return s, nil
+	}
+	s, err := sched.NewScheduler(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	st.schedulers[cfg] = s
+	return s, nil
+}
+
+// batchesFor returns the vertex batches for n vertices at batch size b,
+// reusing the state's identity permutation and batch list.
+func (st *fwdState) batchesFor(n, b int) [][]int32 {
+	if cap(st.verts) < n {
+		st.verts = make([]int32, n)
+		for i := range st.verts {
+			st.verts[i] = int32(i)
+		}
+	}
+	st.batches = st.batches[:0]
+	for start := 0; start < n; start += b {
+		end := start + b
+		if end > n {
+			end = n
+		}
+		st.batches = append(st.batches, st.verts[start:end])
+	}
+	return st.batches
+}
+
+// sizeWorkers (re)shapes nw workers' scratch windows for a layer's
+// accumulator width and update-scratch need.
+func (st *fwdState) sizeWorkers(nw, width, updateScratch int) []fwdWorker {
+	for len(st.workers) < nw {
+		st.workers = append(st.workers, fwdWorker{})
+	}
+	need := 2*width + updateScratch
+	ws := st.workers[:nw]
+	for i := range ws {
+		w := &ws[i]
+		if cap(w.buf) < need {
+			w.buf = make([]float32, need)
+		}
+		buf := w.buf[:need]
+		w.msg = buf[:width]
+		w.acc = buf[width : 2*width]
+		w.scratch = buf[2*width:]
+		w.err = nil
+	}
+	return ws
+}
+
 // Forward executes model m over a materialized graph following exactly the
 // schedule and mapping the timing engine models: vertices are batched,
 // scheduled into tasks and task groups (Algorithm 1), each task's
@@ -18,19 +99,46 @@ import (
 // This is the functional half of the simulator: its outputs are compared
 // against the golden gnn.Forward reference in the test suite, which pins the
 // dataflow's correctness (chained reduction over scheduled task order is
-// equivalent to Eq. 1-2 up to float reassociation).
+// equivalent to Eq. 1-2 up to float reassociation). Task groups (rings) are
+// independent, so execution fans them across GOMAXPROCS workers — see
+// ForwardParallel for the bit-identity guarantee.
 func (s *SCALE) Forward(m *gnn.Model, g *graph.Graph, x *tensor.Matrix) ([]*tensor.Matrix, error) {
+	return s.ForwardParallel(m, g, x, 0)
+}
+
+// ForwardParallel is Forward with an explicit worker budget (< 1 selects
+// GOMAXPROCS, 1 runs serially on the calling goroutine). Each scheduling
+// batch is a barrier — the compact scheduler's group buffers are recycled
+// per batch — and within a batch workers claim whole task groups. Every
+// vertex belongs to exactly one group and its reduce chain folds in-edges in
+// the same mapping order regardless of which worker runs it, so the output
+// is bit-identical for every worker count.
+func (s *SCALE) ForwardParallel(m *gnn.Model, g *graph.Graph, x *tensor.Matrix, workers int) ([]*tensor.Matrix, error) {
 	if x.Rows != g.NumVertices() {
 		return nil, fmt.Errorf("core: features have %d rows, graph has %d vertices", x.Rows, g.NumVertices())
 	}
 	if x.Cols != m.InDim() {
 		return nil, fmt.Errorf("core: features have %d cols, model wants %d", x.Cols, m.InDim())
 	}
-	degrees := g.Degrees()
+	st, _ := s.fwdPool.Get().(*fwdState)
+	if st == nil {
+		st = &fwdState{}
+	}
+	defer s.fwdPool.Put(st)
+
+	n := g.NumVertices()
+	if cap(st.degrees) < n {
+		st.degrees = make([]int32, n)
+	}
+	degrees := st.degrees[:n]
+	for v := range degrees {
+		degrees[v] = int32(g.InDegree(v))
+	}
+
 	h := x
-	var outs []*tensor.Matrix
+	outs := make([]*tensor.Matrix, 0, len(m.Layers))
 	for li, layer := range m.Layers {
-		out, err := s.forwardLayer(li, layer, g, degrees, h)
+		out, err := s.forwardLayer(li, layer, g, degrees, h, st, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -40,67 +148,57 @@ func (s *SCALE) Forward(m *gnn.Model, g *graph.Graph, x *tensor.Matrix) ([]*tens
 	return outs, nil
 }
 
-func (s *SCALE) forwardLayer(li int, layer gnn.Layer, g *graph.Graph, degrees []int32, h *tensor.Matrix) (*tensor.Matrix, error) {
+func (s *SCALE) forwardLayer(li int, layer gnn.Layer, g *graph.Graph, degrees []int32, h *tensor.Matrix, st *fwdState, workers int) (*tensor.Matrix, error) {
 	cfg := s.cfg
 	w := layer.Work()
 	ringSize := cfg.RingSizeFor(w.WeightBytes, w.InDim, w.OutDim)
 	nRings := cfg.NumRings(ringSize)
 	numPEs := nRings * ringSize
-	batch := cfg.BatchSize
-	if batch == 0 {
-		batch = 1024
-	}
+	batch := cfg.EffectiveBatchSize()
 
-	psrc := layer.PrepareSources(h)
-	pdst := layer.PrepareDest(h)
+	psrc, pdst := gnn.PrepareLayer(layer, h, workers)
 	kind := layer.Reduce()
 	width := kind.AccWidth(layer.MsgDim())
 	out := tensor.NewMatrix(h.Rows, layer.OutDim())
-	msg := make([]float32, width)
-	acc := make([]float32, width)
 
 	// The functional executor walks per-vertex work, so it needs
-	// materialized vertex ids; the scheduler is still reused across
-	// batches (groups are consumed within each iteration).
-	scheduler, err := sched.NewScheduler(
-		sched.Config{NumTasks: numPEs, NumGroups: nRings, Policy: cfg.Policy}, true)
+	// materialized vertex ids; the scheduler is reused across batches and
+	// layers sharing a ring geometry (groups are consumed within each
+	// batch iteration, before the next Schedule call recycles them).
+	scheduler, err := st.scheduler(
+		sched.Config{NumTasks: numPEs, NumGroups: nRings, Policy: cfg.Policy})
 	if err != nil {
 		return nil, fmt.Errorf("core: layer %d: %w", li, err)
 	}
-	seen := make([]bool, g.NumVertices())
-	for _, vb := range sched.Batches(g.NumVertices(), batch) {
-		groups, err := scheduler.Schedule(degrees, vb)
+	if cap(st.seen) < g.NumVertices() {
+		st.seen = make([]bool, g.NumVertices())
+	}
+	seen := st.seen[:g.NumVertices()]
+	for i := range seen {
+		seen[i] = false
+	}
+	nw := tensor.RowWorkers(nRings, workers)
+	ws := st.sizeWorkers(nw, width, layer.UpdateScratch())
+
+	// One closure per layer: `groups` rebinds per batch. Workers claim
+	// whole groups (rings) — disjoint vertex sets, so out/seen writes
+	// never overlap across workers.
+	var groups []*sched.TaskGroup
+	run := func(wid, lo, hi int) {
+		wk := &ws[wid]
+		for gi := lo; gi < hi && wk.err == nil; gi++ {
+			wk.err = runGroup(layer, g, groups[gi], psrc, pdst, h, out, seen, wk, kind, width)
+		}
+	}
+	for _, vb := range st.batchesFor(g.NumVertices(), batch) {
+		groups, err = scheduler.Schedule(degrees, vb)
 		if err != nil {
 			return nil, fmt.Errorf("core: layer %d: %w", li, err)
 		}
-		for _, group := range groups {
-			for _, task := range group.Tasks {
-				for _, v := range task.Vertices {
-					if seen[v] {
-						return nil, fmt.Errorf("core: layer %d: vertex %d scheduled twice", li, v)
-					}
-					seen[v] = true
-					nbrs := g.InNeighbors(int(v))
-					for i := range acc {
-						acc[i] = 0
-					}
-					var pdstRow []float32
-					if pdst != nil {
-						pdstRow = pdst.Row(int(v))
-					}
-					// The reduce chain: sources stream through the
-					// ring in mapping order, accumulating hop by hop.
-					for _, u := range nbrs {
-						ctx := gnn.EdgeContext{
-							Src: int(u), Dst: int(v),
-							SrcDeg: g.InDegree(int(u)), DstDeg: len(nbrs),
-						}
-						layer.MessageInto(msg, psrc.Row(int(u)), pdstRow, ctx)
-						kind.Accumulate(acc, msg)
-					}
-					agg := kind.Finalize(acc, layer.MsgDim(), len(nbrs))
-					copy(out.Row(int(v)), layer.Update(h.Row(int(v)), agg))
-				}
+		tensor.ParallelRows(len(groups), nw, run)
+		for i := range ws {
+			if ws[i].err != nil {
+				return nil, fmt.Errorf("core: layer %d: %w", li, ws[i].err)
 			}
 		}
 	}
@@ -110,4 +208,42 @@ func (s *SCALE) forwardLayer(li int, layer gnn.Layer, g *graph.Graph, degrees []
 		}
 	}
 	return out, nil
+}
+
+// runGroup executes one task group (ring): every vertex's reduce chain folds
+// its in-edges hop by hop via the layer's fused AccumulateEdge kernel, then
+// the finalized aggregation feeds UpdateInto directly into the output row.
+// All scratch belongs to the calling worker, so concurrent groups share only
+// read-only inputs and their disjoint output rows.
+func runGroup(layer gnn.Layer, g *graph.Graph, group *sched.TaskGroup, psrc, pdst, h, out *tensor.Matrix, seen []bool, wk *fwdWorker, kind gnn.ReduceKind, width int) error {
+	msgDim := layer.MsgDim()
+	for _, task := range group.Tasks {
+		for _, v := range task.Vertices {
+			if seen[v] {
+				return fmt.Errorf("vertex %d scheduled twice", v)
+			}
+			seen[v] = true
+			nbrs := g.InNeighbors(int(v))
+			acc := wk.acc
+			for i := range acc {
+				acc[i] = 0
+			}
+			var pdstRow []float32
+			if pdst != nil {
+				pdstRow = pdst.Row(int(v))
+			}
+			// The reduce chain: sources stream through the ring in
+			// mapping order, accumulating hop by hop.
+			for _, u := range nbrs {
+				ctx := gnn.EdgeContext{
+					Src: int(u), Dst: int(v),
+					SrcDeg: g.InDegree(int(u)), DstDeg: len(nbrs),
+				}
+				layer.AccumulateEdge(acc, psrc.Row(int(u)), pdstRow, wk.msg, ctx)
+			}
+			agg := kind.Finalize(acc, msgDim, len(nbrs))
+			layer.UpdateInto(out.Row(int(v)), h.Row(int(v)), agg, wk.scratch)
+		}
+	}
+	return nil
 }

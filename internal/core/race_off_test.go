@@ -1,0 +1,9 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. The
+// steady-state allocation test skips under -race: the detector makes
+// sync.Pool drop cached items (to widen its interleaving coverage), so the
+// pooled executor state is deliberately reallocated there.
+const raceEnabled = false

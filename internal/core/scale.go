@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"scale/internal/arch"
 	"scale/internal/gnn"
@@ -18,11 +19,16 @@ import (
 //
 // A SCALE value is safe for concurrent use: Run never mutates the receiver —
 // its configuration is copied at construction and all simulation state
-// (schedules, batches, counters) is freshly allocated per call.
+// (schedules, batches, counters) is freshly allocated per call. The
+// functional executor's recycled state lives in a sync.Pool, so concurrent
+// Forward calls each check out their own state.
 type SCALE struct {
 	cfg Config
 	// Perf is the §IV-B analytical scheduling model.
 	Perf sched.PerfModel
+	// fwdPool recycles fwdState values across Forward calls (see
+	// functional.go); the zero value is ready to use.
+	fwdPool sync.Pool
 }
 
 // New returns a SCALE model with the given configuration.
@@ -118,7 +124,7 @@ func (s *SCALE) runLayerTraced(li int, w gnn.LayerWork, p *graph.Profile) (arch.
 				batch = need
 			}
 		}
-		batch = clamp(batch, 1024, 16384)
+		batch = clamp(batch, defaultBatchSize, 16384)
 		// Never schedule beyond the graph: t_ts scales with B, and a
 		// batch larger than |V| only inflates the scheduler's table scan.
 		if batch > p.NumVertices() {

@@ -28,9 +28,18 @@ type CustomSpec struct {
 	// Message writes one edge's message into out (width
 	// Reduce.AccWidth(MsgDim)); nil copies the prepared source row.
 	Message func(out, psrc, pdst []float32, ctx EdgeContext)
+	// Accumulate optionally fuses Message with the reduction: it folds one
+	// edge's message into acc without materializing it. Nil falls back to
+	// Message followed by Reduce.Accumulate (using caller scratch, still
+	// allocation-free). Must be bit-identical to the unfused pair.
+	Accumulate func(acc, psrc, pdst []float32, ctx EdgeContext)
 	// Update combines a vertex's input features with its finalized
-	// aggregation into the output row. Required.
+	// aggregation into the output row. Required unless UpdateInto is set.
 	Update func(hself, agg []float32) []float32
+	// UpdateInto optionally writes Update's result into dst without
+	// allocating. Nil falls back to Update plus a copy (which allocates,
+	// so hot paths should set it).
+	UpdateInto func(dst, hself, agg []float32)
 	// Work characterizes the hardware workload for the timing models; the
 	// zero value derives a copy-message/sum-reduce estimate from the dims.
 	Work LayerWork
@@ -43,8 +52,8 @@ func NewCustomLayer(spec CustomSpec) (Layer, error) {
 	if spec.InDim < 1 || spec.OutDim < 1 || spec.MsgDim < 1 {
 		return nil, fmt.Errorf("gnn: custom layer %q: dims must be positive", spec.Name)
 	}
-	if spec.Update == nil {
-		return nil, fmt.Errorf("gnn: custom layer %q: Update is required", spec.Name)
+	if spec.Update == nil && spec.UpdateInto == nil {
+		return nil, fmt.Errorf("gnn: custom layer %q: Update or UpdateInto is required", spec.Name)
 	}
 	if spec.PrepareSources == nil && spec.MsgDim != spec.InDim {
 		return nil, fmt.Errorf("gnn: custom layer %q: identity PrepareSources needs MsgDim == InDim", spec.Name)
@@ -114,8 +123,30 @@ func (l *customLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
 	l.spec.Message(out, psrc, pdst, ctx)
 }
 
-func (l *customLayer) Update(hself, agg []float32) []float32 {
-	return l.spec.Update(hself, agg)
+func (l *customLayer) AccumulateEdge(acc, psrc, pdst, msg []float32, ctx EdgeContext) {
+	if l.spec.Accumulate != nil {
+		l.spec.Accumulate(acc, psrc, pdst, ctx)
+		return
+	}
+	l.MessageInto(msg, psrc, pdst, ctx)
+	l.spec.Reduce.Accumulate(acc, msg)
 }
+
+func (l *customLayer) Update(hself, agg []float32) []float32 {
+	if l.spec.Update != nil {
+		return l.spec.Update(hself, agg)
+	}
+	return updateAlloc(l, hself, agg)
+}
+
+func (l *customLayer) UpdateInto(dst, hself, agg, scratch []float32) {
+	if l.spec.UpdateInto != nil {
+		l.spec.UpdateInto(dst, hself, agg)
+		return
+	}
+	copy(dst, l.spec.Update(hself, agg))
+}
+
+func (l *customLayer) UpdateScratch() int { return 0 }
 
 func (l *customLayer) Work() LayerWork { return l.work }

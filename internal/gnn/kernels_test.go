@@ -1,0 +1,197 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"scale/internal/tensor"
+)
+
+// Every layer's fused/in-place kernels must be bit-identical to the
+// allocating contract they shadow: the executors only ever drive the
+// kernels, so any drift would silently decouple them from the documented
+// Eq. 1–2 semantics.
+
+func zooLayers(t *testing.T) map[string]Layer {
+	t.Helper()
+	layers := make(map[string]Layer)
+	for _, name := range AllModelNames() {
+		m := MustModel(name, []int{12, 8, 4}, 5)
+		layers[name+"/hidden"] = m.Layers[0]
+		layers[name+"/last"] = m.Layers[1]
+	}
+	return layers
+}
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = rng.Float32() - 0.5
+	}
+	return s
+}
+
+func TestUpdateIntoMatchesUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for name, l := range zooLayers(t) {
+		hself := randSlice(rng, l.InDim())
+		agg := randSlice(rng, l.MsgDim())
+		want := l.Update(hself, agg)
+		dst := randSlice(rng, l.OutDim()) // stale contents must be overwritten
+		scratch := randSlice(rng, l.UpdateScratch())
+		l.UpdateInto(dst, hself, agg, scratch)
+		for i, v := range dst {
+			if v != want[i] {
+				t.Fatalf("%s: UpdateInto[%d] = %v, Update = %v", name, i, v, want[i])
+			}
+		}
+	}
+}
+
+func TestAccumulateEdgeMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g := testGraph()
+	for name, l := range zooLayers(t) {
+		h := tensor.RandomMatrix(rng, g.NumVertices(), l.InDim(), 0.5)
+		psrc, pdst := PrepareLayer(l, h, 1)
+		width := l.Reduce().AccWidth(l.MsgDim())
+		acc := randSlice(rng, width)
+		want := append([]float32(nil), acc...)
+		msg := make([]float32, width)
+		for v := 0; v < 8; v++ {
+			nbrs := g.InNeighbors(v)
+			var pdstRow []float32
+			if pdst != nil {
+				pdstRow = pdst.Row(v)
+			}
+			for _, u := range nbrs {
+				ctx := EdgeContext{Src: int(u), Dst: v, SrcDeg: g.InDegree(int(u)), DstDeg: len(nbrs)}
+				l.AccumulateEdge(acc, psrc.Row(int(u)), pdstRow, msg, ctx)
+				l.MessageInto(msg, psrc.Row(int(u)), pdstRow, ctx)
+				l.Reduce().Accumulate(want, msg)
+			}
+		}
+		for i, v := range acc {
+			if v != want[i] {
+				t.Fatalf("%s: fused acc[%d] = %v, unfused = %v", name, i, v, want[i])
+			}
+		}
+	}
+}
+
+// PrepareLayer's fused/parallel prepare must be bit-identical to the serial
+// PrepareSources/PrepareDest pair for every worker count.
+func TestPrepareLayerMatchesSerialPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for name, l := range zooLayers(t) {
+		h := tensor.RandomMatrix(rng, 50, l.InDim(), 0.5)
+		wantSrc := l.PrepareSources(h)
+		wantDst := l.PrepareDest(h)
+		for _, workers := range []int{1, 3, 8} {
+			psrc, pdst := PrepareLayer(l, h, workers)
+			if !psrc.Equal(wantSrc) {
+				t.Fatalf("%s workers=%d: prepared sources diverge", name, workers)
+			}
+			if (pdst == nil) != (wantDst == nil) {
+				t.Fatalf("%s workers=%d: pdst nil-ness diverges", name, workers)
+			}
+			if pdst != nil && !pdst.Equal(wantDst) {
+				t.Fatalf("%s workers=%d: prepared dests diverge", name, workers)
+			}
+		}
+	}
+}
+
+// The row-parallel reference executor is bit-identical to the serial sweep
+// for every model in the zoo.
+func TestForwardParallelBitIdenticalReference(t *testing.T) {
+	g := testGraph()
+	for _, name := range AllModelNames() {
+		m := MustModel(name, []int{10, 6, 3}, 2)
+		x := RandomFeatures(g, 10, 3)
+		serial, err := ForwardParallel(m, g, x, 1)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		for _, workers := range []int{2, 8} {
+			par, err := ForwardParallel(m, g, x, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			for li := range serial {
+				if !par[li].Equal(serial[li]) {
+					t.Fatalf("%s workers=%d layer %d: parallel output diverges bit-wise (max |Δ| = %g)",
+						name, workers, li, par[li].MaxAbsDiff(serial[li]))
+				}
+			}
+		}
+	}
+}
+
+// A custom layer with only the allocating surface defined still runs through
+// the kernel-driven executor via the fallbacks, and one with fused kernels
+// set uses them.
+func TestCustomLayerKernelFallbacks(t *testing.T) {
+	base := CustomSpec{
+		Name: "fallback", InDim: 6, MsgDim: 6, OutDim: 6,
+		Reduce: ReduceSum,
+		Update: func(hself, agg []float32) []float32 {
+			out := make([]float32, len(agg))
+			for i := range out {
+				out[i] = hself[i] + agg[i]
+			}
+			return out
+		},
+	}
+	fused := base
+	fused.Name = "fused"
+	fused.Accumulate = func(acc, psrc, pdst []float32, ctx EdgeContext) {
+		for i, v := range psrc {
+			acc[i] += v
+		}
+	}
+	fused.UpdateInto = func(dst, hself, agg []float32) {
+		for i := range dst {
+			dst[i] = hself[i] + agg[i]
+		}
+	}
+
+	g := testGraph()
+	x := RandomFeatures(g, 6, 4)
+	var outs [][]*tensor.Matrix
+	for _, spec := range []CustomSpec{base, fused} {
+		l, err := NewCustomLayer(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := CustomModel(spec.Name, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Forward(m, g, x)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		outs = append(outs, out)
+	}
+	if !outs[0][0].Equal(outs[1][0]) {
+		t.Fatal("fused custom kernels diverge from the allocating fallbacks")
+	}
+
+	// UpdateInto-only spec (no allocating Update) must validate and run.
+	into := base
+	into.Name = "into-only"
+	into.Update = nil
+	into.UpdateInto = func(dst, hself, agg []float32) {
+		for i := range dst {
+			dst[i] = hself[i] + agg[i]
+		}
+	}
+	l, err := NewCustomLayer(into)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Update(make([]float32, 6), make([]float32, 6)); len(got) != 6 {
+		t.Fatalf("Update fallback length %d", len(got))
+	}
+}

@@ -103,10 +103,22 @@ func (l *gcnLayer) Reduce() ReduceKind { return ReduceSum }
 func (l *gcnLayer) PrepareSources(h *tensor.Matrix) *tensor.Matrix { return h }
 func (l *gcnLayer) PrepareDest(h *tensor.Matrix) *tensor.Matrix    { return nil }
 
+func (l *gcnLayer) prepare(h *tensor.Matrix, workers int) (*tensor.Matrix, *tensor.Matrix) {
+	return h, nil
+}
+
 func (l *gcnLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
 	norm := gcnNorm(ctx.SrcDeg, ctx.DstDeg)
 	for i, v := range psrc {
 		out[i] = norm * v
+	}
+}
+
+func (l *gcnLayer) AccumulateEdge(acc, psrc, pdst, msg []float32, ctx EdgeContext) {
+	norm := gcnNorm(ctx.SrcDeg, ctx.DstDeg)
+	acc = acc[:len(psrc)] // bounds-check hint for the per-edge axpy
+	for i, v := range psrc {
+		acc[i] += norm * v
 	}
 }
 
@@ -120,10 +132,15 @@ func gcnNorm(srcDeg, dstDeg int) float32 {
 	return float32(1 / math.Sqrt(float64(srcDeg)*float64(dstDeg)))
 }
 
-func (l *gcnLayer) Update(hself, agg []float32) []float32 {
+func (l *gcnLayer) Update(hself, agg []float32) []float32 { return updateAlloc(l, hself, agg) }
+
+func (l *gcnLayer) UpdateInto(dst, hself, agg, scratch []float32) {
 	l.ensure()
-	return maybeReLU(l.act, tensor.VecMat(agg, l.w))
+	tensor.VecMatInto(dst, agg, l.w)
+	maybeReLU(l.act, dst)
 }
+
+func (l *gcnLayer) UpdateScratch() int { return 0 }
 
 // UpdateWeights exposes the update GEMV matrix so the register-level update
 // ring (internal/core/micro) can execute this layer exactly.
@@ -181,8 +198,8 @@ func (l *ggcnLayer) PrepareSources(h *tensor.Matrix) *tensor.Matrix {
 	p := tensor.NewMatrix(h.Rows, 2*l.out)
 	for i := 0; i < h.Rows; i++ {
 		row := p.Row(i)
-		copy(row[:l.out], tensor.VecMat(h.Row(i), l.b))
-		copy(row[l.out:], tensor.VecMat(h.Row(i), l.v))
+		tensor.VecMatInto(row[:l.out], h.Row(i), l.b)
+		tensor.VecMatInto(row[l.out:], h.Row(i), l.v)
 	}
 	return p
 }
@@ -192,9 +209,27 @@ func (l *ggcnLayer) PrepareDest(h *tensor.Matrix) *tensor.Matrix {
 	l.ensure()
 	p := tensor.NewMatrix(h.Rows, l.out)
 	for i := 0; i < h.Rows; i++ {
-		copy(p.Row(i), tensor.VecMat(h.Row(i), l.a))
+		tensor.VecMatInto(p.Row(i), h.Row(i), l.a)
 	}
 	return p
+}
+
+// prepare fuses the three GEMVs (B·h, V·h, A·h) into a single parallel pass
+// over h, reading each input row once.
+func (l *ggcnLayer) prepare(h *tensor.Matrix, workers int) (*tensor.Matrix, *tensor.Matrix) {
+	l.ensure()
+	psrc := tensor.NewMatrix(h.Rows, 2*l.out)
+	pdst := tensor.NewMatrix(h.Rows, l.out)
+	tensor.ParallelRows(h.Rows, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hrow := h.Row(i)
+			row := psrc.Row(i)
+			tensor.VecMatInto(row[:l.out], hrow, l.b)
+			tensor.VecMatInto(row[l.out:], hrow, l.v)
+			tensor.VecMatInto(pdst.Row(i), hrow, l.a)
+		}
+	})
+	return psrc, pdst
 }
 
 func (l *ggcnLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
@@ -204,14 +239,25 @@ func (l *ggcnLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
 	}
 }
 
-func (l *ggcnLayer) Update(hself, agg []float32) []float32 {
-	l.ensure()
-	o := tensor.VecMat(hself, l.u)
-	for i := range o {
-		o[i] += agg[i]
+func (l *ggcnLayer) AccumulateEdge(acc, psrc, pdst, msg []float32, ctx EdgeContext) {
+	for i := 0; i < l.out; i++ {
+		gate := sigmoid32(pdst[i] + psrc[i])
+		acc[i] += gate * psrc[l.out+i]
 	}
-	return maybeReLU(l.act, o)
 }
+
+func (l *ggcnLayer) Update(hself, agg []float32) []float32 { return updateAlloc(l, hself, agg) }
+
+func (l *ggcnLayer) UpdateInto(dst, hself, agg, scratch []float32) {
+	l.ensure()
+	tensor.VecMatInto(dst, hself, l.u)
+	for i := range dst {
+		dst[i] += agg[i]
+	}
+	maybeReLU(l.act, dst)
+}
+
+func (l *ggcnLayer) UpdateScratch() int { return 0 }
 
 func (l *ggcnLayer) Work() LayerWork {
 	io := int64(l.in) * int64(l.out)
@@ -273,28 +319,48 @@ func (l *sagePoolLayer) MsgDim() int        { return l.pool }
 func (l *sagePoolLayer) Reduce() ReduceKind { return ReduceMax }
 
 func (l *sagePoolLayer) PrepareSources(h *tensor.Matrix) *tensor.Matrix {
-	l.ensure()
-	p := tensor.NewMatrix(h.Rows, l.pool)
-	for i := 0; i < h.Rows; i++ {
-		row := tensor.VecMat(h.Row(i), l.wp)
-		for j := range row {
-			row[j] += l.bp[j]
-		}
-		copy(p.Row(i), tensor.ReLU(row))
-	}
+	p, _ := l.prepare(h, 1)
 	return p
 }
 
 func (l *sagePoolLayer) PrepareDest(h *tensor.Matrix) *tensor.Matrix { return nil }
 
+// prepare runs the pooling MLP as one (possibly cache-blocked) GEMM over all
+// vertices, then folds in the bias and ReLU row-parallel.
+func (l *sagePoolLayer) prepare(h *tensor.Matrix, workers int) (*tensor.Matrix, *tensor.Matrix) {
+	l.ensure()
+	p := tensor.NewMatrix(h.Rows, l.pool)
+	tensor.ParallelMatMulInto(p, h, l.wp, workers)
+	tensor.ParallelRows(h.Rows, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := p.Row(i)
+			for j, bv := range l.bp {
+				row[j] += bv
+			}
+			tensor.ReLU(row)
+		}
+	})
+	return p, nil
+}
+
 func (l *sagePoolLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
 	copy(out, psrc)
 }
 
-func (l *sagePoolLayer) Update(hself, agg []float32) []float32 {
-	l.ensure()
-	return maybeReLU(l.act, tensor.VecMat(tensor.Concat(hself, agg), l.w))
+func (l *sagePoolLayer) AccumulateEdge(acc, psrc, pdst, msg []float32, ctx EdgeContext) {
+	tensor.MaxElems(acc, psrc)
 }
+
+func (l *sagePoolLayer) Update(hself, agg []float32) []float32 { return updateAlloc(l, hself, agg) }
+
+func (l *sagePoolLayer) UpdateInto(dst, hself, agg, scratch []float32) {
+	l.ensure()
+	tensor.ConcatInto(scratch, hself, agg)
+	tensor.VecMatInto(dst, scratch, l.w)
+	maybeReLU(l.act, dst)
+}
+
+func (l *sagePoolLayer) UpdateScratch() int { return l.in + l.pool }
 
 func (l *sagePoolLayer) Work() LayerWork {
 	in, pool, out := int64(l.in), int64(l.pool), int64(l.out)
@@ -342,19 +408,37 @@ func (l *ginLayer) Reduce() ReduceKind { return ReduceSum }
 func (l *ginLayer) PrepareSources(h *tensor.Matrix) *tensor.Matrix { return h }
 func (l *ginLayer) PrepareDest(h *tensor.Matrix) *tensor.Matrix    { return nil }
 
+func (l *ginLayer) prepare(h *tensor.Matrix, workers int) (*tensor.Matrix, *tensor.Matrix) {
+	return h, nil
+}
+
 func (l *ginLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
 	copy(out, psrc)
 }
 
-func (l *ginLayer) Update(hself, agg []float32) []float32 {
+func (l *ginLayer) AccumulateEdge(acc, psrc, pdst, msg []float32, ctx EdgeContext) {
+	acc = acc[:len(psrc)]
+	for i, v := range psrc {
+		acc[i] += v
+	}
+}
+
+func (l *ginLayer) Update(hself, agg []float32) []float32 { return updateAlloc(l, hself, agg) }
+
+func (l *ginLayer) UpdateInto(dst, hself, agg, scratch []float32) {
 	l.ensure()
-	x := make([]float32, l.in)
+	x := scratch[:l.in]
+	hidden := scratch[l.in : l.in+l.out]
 	for i := range x {
 		x[i] = (1+l.eps)*hself[i] + agg[i]
 	}
-	hidden := tensor.ReLU(tensor.VecMat(x, l.w1))
-	return maybeReLU(l.act, tensor.VecMat(hidden, l.w2))
+	tensor.VecMatInto(hidden, x, l.w1)
+	tensor.ReLU(hidden)
+	tensor.VecMatInto(dst, hidden, l.w2)
+	maybeReLU(l.act, dst)
 }
+
+func (l *ginLayer) UpdateScratch() int { return l.in + l.out }
 
 func (l *ginLayer) Work() LayerWork {
 	in, out := int64(l.in), int64(l.out)
@@ -408,9 +492,9 @@ func (l *gatLayer) PrepareSources(h *tensor.Matrix) *tensor.Matrix {
 	l.ensure()
 	p := tensor.NewMatrix(h.Rows, l.out+1)
 	for i := 0; i < h.Rows; i++ {
-		z := tensor.VecMat(h.Row(i), l.w)
 		row := p.Row(i)
-		copy(row, z)
+		z := row[:l.out]
+		tensor.VecMatInto(z, h.Row(i), l.w)
 		row[l.out] = tensor.Dot(l.ar, z)
 	}
 	return p
@@ -420,11 +504,31 @@ func (l *gatLayer) PrepareSources(h *tensor.Matrix) *tensor.Matrix {
 func (l *gatLayer) PrepareDest(h *tensor.Matrix) *tensor.Matrix {
 	l.ensure()
 	p := tensor.NewMatrix(h.Rows, 1)
+	z := make([]float32, l.out)
 	for i := 0; i < h.Rows; i++ {
-		z := tensor.VecMat(h.Row(i), l.w)
+		tensor.VecMatInto(z, h.Row(i), l.w)
 		p.Set(i, 0, tensor.Dot(l.al, z))
 	}
 	return p
+}
+
+// prepare computes z = W·h once per vertex — the split
+// PrepareSources/PrepareDest pair recomputes it — writing z directly into
+// the prepared source row and deriving both attention scores from it.
+func (l *gatLayer) prepare(h *tensor.Matrix, workers int) (*tensor.Matrix, *tensor.Matrix) {
+	l.ensure()
+	psrc := tensor.NewMatrix(h.Rows, l.out+1)
+	pdst := tensor.NewMatrix(h.Rows, 1)
+	tensor.ParallelRows(h.Rows, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := psrc.Row(i)
+			z := row[:l.out]
+			tensor.VecMatInto(z, h.Row(i), l.w)
+			row[l.out] = tensor.Dot(l.ar, z)
+			pdst.Set(i, 0, tensor.Dot(l.al, z))
+		}
+	})
+	return psrc, pdst
 }
 
 func (l *gatLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
@@ -439,11 +543,26 @@ func (l *gatLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
 	out[l.out] = w
 }
 
-func (l *gatLayer) Update(hself, agg []float32) []float32 {
-	o := make([]float32, l.out)
-	copy(o, agg)
-	return maybeReLU(l.act, o)
+func (l *gatLayer) AccumulateEdge(acc, psrc, pdst, msg []float32, ctx EdgeContext) {
+	e := pdst[0] + psrc[l.out]
+	if e < 0 {
+		e *= 0.2 // LeakyReLU
+	}
+	w := float32(math.Exp(float64(e)))
+	for i := 0; i < l.out; i++ {
+		acc[i] += w * psrc[i]
+	}
+	acc[l.out] += w
 }
+
+func (l *gatLayer) Update(hself, agg []float32) []float32 { return updateAlloc(l, hself, agg) }
+
+func (l *gatLayer) UpdateInto(dst, hself, agg, scratch []float32) {
+	copy(dst, agg[:l.out])
+	maybeReLU(l.act, dst)
+}
+
+func (l *gatLayer) UpdateScratch() int { return 0 }
 
 func (l *gatLayer) Work() LayerWork {
 	in, out := int64(l.in), int64(l.out)
@@ -491,14 +610,31 @@ func (l *sageMeanLayer) Reduce() ReduceKind { return ReduceMean }
 func (l *sageMeanLayer) PrepareSources(h *tensor.Matrix) *tensor.Matrix { return h }
 func (l *sageMeanLayer) PrepareDest(h *tensor.Matrix) *tensor.Matrix    { return nil }
 
+func (l *sageMeanLayer) prepare(h *tensor.Matrix, workers int) (*tensor.Matrix, *tensor.Matrix) {
+	return h, nil
+}
+
 func (l *sageMeanLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeContext) {
 	copy(out, psrc)
 }
 
-func (l *sageMeanLayer) Update(hself, agg []float32) []float32 {
-	l.ensure()
-	return maybeReLU(l.act, tensor.VecMat(tensor.Concat(hself, agg), l.w))
+func (l *sageMeanLayer) AccumulateEdge(acc, psrc, pdst, msg []float32, ctx EdgeContext) {
+	acc = acc[:len(psrc)]
+	for i, v := range psrc {
+		acc[i] += v
+	}
 }
+
+func (l *sageMeanLayer) Update(hself, agg []float32) []float32 { return updateAlloc(l, hself, agg) }
+
+func (l *sageMeanLayer) UpdateInto(dst, hself, agg, scratch []float32) {
+	l.ensure()
+	tensor.ConcatInto(scratch, hself, agg)
+	tensor.VecMatInto(dst, scratch, l.w)
+	maybeReLU(l.act, dst)
+}
+
+func (l *sageMeanLayer) UpdateScratch() int { return 2 * l.in }
 
 func (l *sageMeanLayer) Work() LayerWork {
 	in, out := int64(l.in), int64(l.out)

@@ -89,19 +89,61 @@ func (l *multiHeadGATLayer) MessageInto(out, psrc, pdst []float32, ctx EdgeConte
 	}
 }
 
+func (l *multiHeadGATLayer) AccumulateEdge(acc, psrc, pdst, msg []float32, ctx EdgeContext) {
+	off := 0
+	for i, sub := range l.subs {
+		w := sub.out + 1
+		sub.AccumulateEdge(acc[off:off+w], psrc[off:off+w], pdst[i:i+1], nil, ctx)
+		off += w
+	}
+}
+
+// prepare lays each head's prepared row and destination scalar directly into
+// the concatenated matrices, computing each head's z once per vertex.
+func (l *multiHeadGATLayer) prepare(h *tensor.Matrix, workers int) (*tensor.Matrix, *tensor.Matrix) {
+	for _, sub := range l.subs {
+		sub.ensure()
+	}
+	psrc := tensor.NewMatrix(h.Rows, l.MsgDim())
+	pdst := tensor.NewMatrix(h.Rows, l.heads)
+	tensor.ParallelRows(h.Rows, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hrow := h.Row(i)
+			row := psrc.Row(i)
+			drow := pdst.Row(i)
+			off := 0
+			for hd, sub := range l.subs {
+				z := row[off : off+sub.out]
+				tensor.VecMatInto(z, hrow, sub.w)
+				row[off+sub.out] = tensor.Dot(sub.ar, z)
+				drow[hd] = tensor.Dot(sub.al, z)
+				off += sub.out + 1
+			}
+		}
+	})
+	return psrc, pdst
+}
+
 // Update normalizes each head by its carried weight sum and concatenates.
 func (l *multiHeadGATLayer) Update(hself, agg []float32) []float32 {
-	out := make([]float32, 0, l.out)
-	off := 0
-	for _, sub := range l.subs {
-		head := make([]float32, sub.out+1)
-		copy(head, agg[off:off+sub.out+1])
-		norm := ReduceSumNorm.Finalize(head, sub.out, 0)
-		out = append(out, sub.Update(hself, norm)...)
-		off += sub.out + 1
-	}
-	return out
+	return updateAlloc(l, hself, agg)
 }
+
+// UpdateInto finalizes each head's SumNorm in the shared scratch buffer and
+// writes the normalized head into its slot of dst.
+func (l *multiHeadGATLayer) UpdateInto(dst, hself, agg, scratch []float32) {
+	srcOff, dstOff := 0, 0
+	for _, sub := range l.subs {
+		head := scratch[:sub.out+1]
+		copy(head, agg[srcOff:srcOff+sub.out+1])
+		norm := ReduceSumNorm.Finalize(head, sub.out, 0)
+		sub.UpdateInto(dst[dstOff:dstOff+sub.out], hself, norm, nil)
+		srcOff += sub.out + 1
+		dstOff += sub.out
+	}
+}
+
+func (l *multiHeadGATLayer) UpdateScratch() int { return l.headDim + 1 }
 
 func (l *multiHeadGATLayer) Work() LayerWork {
 	var w LayerWork

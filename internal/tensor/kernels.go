@@ -1,0 +1,242 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Kernel-selection thresholds (see the package doc for the policy). Sizes are
+// in float32 elements.
+const (
+	// gemmStreamFloats: when the streamed operand b fits in this many
+	// elements (128 KB, comfortably inside L2), the plain ikj kernel keeps
+	// it cache-resident across output rows and blocking buys nothing.
+	gemmStreamFloats = 32 * 1024
+	// gemmBlockK × gemmBlockJ is the b panel the blocked kernel keeps hot
+	// (128 KB): K rows of the inner dimension by J output columns.
+	gemmBlockK = 128
+	gemmBlockJ = 256
+)
+
+// MatMulInto computes out = a·b without allocating. out must be a.Rows ×
+// b.Cols and must not alias a or b. Large b operands are computed with the
+// cache-blocked kernel; the result is bit-identical to the plain kernel
+// because blocking preserves each output element's k-accumulation order.
+func MatMulInto(out, a, b *Matrix) {
+	checkMatMulShape(out, a, b)
+	out.Zero()
+	matMulRowsInto(out, a, b, 0, a.Rows)
+}
+
+// ParallelMatMul computes a·b with output rows fanned across up to `workers`
+// goroutines (workers < 1 selects GOMAXPROCS). Each row is produced by the
+// same serial kernel, so the result is bit-identical for any worker count.
+func ParallelMatMul(a, b *Matrix, workers int) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	ParallelMatMulInto(out, a, b, workers)
+	return out
+}
+
+// ParallelMatMulInto is MatMulInto with output rows fanned across up to
+// `workers` goroutines. Bit-identical to the serial kernel for any worker
+// count.
+func ParallelMatMulInto(out, a, b *Matrix, workers int) {
+	checkMatMulShape(out, a, b)
+	out.Zero()
+	ParallelRows(a.Rows, workers, func(_, lo, hi int) {
+		matMulRowsInto(out, a, b, lo, hi)
+	})
+}
+
+func checkMatMulShape(out, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul out %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+}
+
+// matMulRowsInto accumulates rows [lo, hi) of a·b into out (rows assumed
+// pre-zeroed). Kernel selection: plain ikj while b stays cache-resident,
+// k×j-blocked panels otherwise. Both kernels skip zero a elements (sparse
+// bag-of-words features) and visit k in ascending order for every output
+// element, so their results are bit-identical.
+func matMulRowsInto(out, a, b *Matrix, lo, hi int) {
+	if b.Rows*b.Cols <= gemmStreamFloats {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				axpyRow(orow, av, b.Row(k))
+			}
+		}
+		return
+	}
+	for jb := 0; jb < b.Cols; jb += gemmBlockJ {
+		jend := jb + gemmBlockJ
+		if jend > b.Cols {
+			jend = b.Cols
+		}
+		for kb := 0; kb < b.Rows; kb += gemmBlockK {
+			kend := kb + gemmBlockK
+			if kend > b.Rows {
+				kend = b.Rows
+			}
+			for i := lo; i < hi; i++ {
+				arow := a.Row(i)
+				orow := out.Row(i)[jb:jend]
+				for k := kb; k < kend; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					axpyRow(orow, av, b.Row(k)[jb:jend])
+				}
+			}
+		}
+	}
+}
+
+// axpyRow computes o += alpha*brow over equal-length rows; the length hint
+// lets the compiler elide bounds checks in the hot loop.
+func axpyRow(o []float32, alpha float32, brow []float32) {
+	o = o[:len(brow)]
+	for j, bv := range brow {
+		o[j] += alpha * bv
+	}
+}
+
+// VecMatInto computes out = xᵀ·a without allocating. out must have length
+// a.Cols and must not alias x or a's backing array.
+func VecMatInto(out []float32, x []float32, a *Matrix) {
+	if a.Rows != len(x) {
+		panic(fmt.Sprintf("tensor: vecmat %d · %dx%d", len(x), a.Rows, a.Cols))
+	}
+	if len(out) != a.Cols {
+		panic(fmt.Sprintf("tensor: vecmat out %d, want %d", len(out), a.Cols))
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for k, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		axpyRow(out, xv, a.Row(k))
+	}
+}
+
+// MatVecInto computes out = a·x without allocating. out must have length
+// a.Rows.
+func MatVecInto(out []float32, a *Matrix, x []float32) {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("tensor: matvec %dx%d · %d", a.Rows, a.Cols, len(x)))
+	}
+	if len(out) != a.Rows {
+		panic(fmt.Sprintf("tensor: matvec out %d, want %d", len(out), a.Rows))
+	}
+	for i := range out {
+		out[i] = Dot(a.Row(i), x)
+	}
+}
+
+// AddInto computes out = a+b elementwise without allocating. out may alias a
+// or b.
+func AddInto(out, a, b []float32) {
+	if len(a) != len(b) || len(out) != len(a) {
+		panic(fmt.Sprintf("tensor: add %d + %d into %d", len(a), len(b), len(out)))
+	}
+	for i := range out {
+		out[i] = a[i] + b[i]
+	}
+}
+
+// HadamardInto computes out = a⊙b elementwise without allocating. out may
+// alias a or b.
+func HadamardInto(out, a, b []float32) {
+	if len(a) != len(b) || len(out) != len(a) {
+		panic(fmt.Sprintf("tensor: hadamard %d ⊙ %d into %d", len(a), len(b), len(out)))
+	}
+	for i := range out {
+		out[i] = a[i] * b[i]
+	}
+}
+
+// ConcatInto writes [a ; b] into out, which must have length len(a)+len(b).
+func ConcatInto(out, a, b []float32) {
+	if len(out) != len(a)+len(b) {
+		panic(fmt.Sprintf("tensor: concat %d + %d into %d", len(a), len(b), len(out)))
+	}
+	copy(out, a)
+	copy(out[len(a):], b)
+}
+
+// RowWorkers returns the number of goroutines ParallelRows will use for n
+// rows and the given worker budget: min(workers, n), with workers < 1
+// selecting GOMAXPROCS. Callers size per-worker scratch with it.
+func RowWorkers(n, workers int) int {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ParallelRows partitions rows [0, n) into contiguous chunks and fans them
+// across RowWorkers(n, workers) goroutines; fn(worker, lo, hi) processes one
+// chunk and may be called several times per worker (chunks are claimed from
+// a shared counter, so stragglers self-balance). worker ids are dense in
+// [0, RowWorkers(n, workers)), letting callers index per-worker scratch.
+// With one worker, fn runs inline on the caller's goroutine — no goroutine
+// is spawned and nothing is allocated.
+//
+// Row chunks are disjoint, so any function that writes only its own rows is
+// deterministic — and bit-identical to a serial sweep — for every worker
+// count.
+func ParallelRows(n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	nw := RowWorkers(n, workers)
+	if nw == 1 {
+		fn(0, 0, n)
+		return
+	}
+	// 8 chunks per worker bounds claim traffic while keeping enough slack
+	// for uneven per-row costs (power-law adjacency).
+	chunk := n / (nw * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				hi := int(atomic.AddInt64(&next, int64(chunk)))
+				lo := hi - chunk
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				fn(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,250 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The blocked GEMM kernel must be bit-identical to the plain kernel: the
+// selection threshold is a pure performance decision. Shapes straddle
+// gemmStreamFloats (b = 400×120 = 48000 floats forces blocking, with ragged
+// edges against both block sizes).
+func TestBlockedGEMMBitIdenticalToPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := RandomMatrix(rng, 37, 400, 1)
+	b := RandomMatrix(rng, 400, 120, 1)
+	if b.Rows*b.Cols <= gemmStreamFloats {
+		t.Fatalf("b too small to exercise the blocked kernel: %d floats", b.Rows*b.Cols)
+	}
+	// Sprinkle zeros so the zero-skip path runs in both kernels.
+	for i := 0; i < len(a.Data); i += 5 {
+		a.Data[i] = 0
+	}
+	blocked := MatMul(a, b)
+
+	// Plain kernel, forced by computing column strips narrow enough to
+	// stay under the threshold and gluing them back together.
+	plain := NewMatrix(a.Rows, b.Cols)
+	strip := gemmStreamFloats / b.Rows // columns per under-threshold strip
+	for jb := 0; jb < b.Cols; jb += strip {
+		jend := jb + strip
+		if jend > b.Cols {
+			jend = b.Cols
+		}
+		sub := NewMatrix(b.Rows, jend-jb)
+		for r := 0; r < b.Rows; r++ {
+			copy(sub.Row(r), b.Row(r)[jb:jend])
+		}
+		part := MatMul(a, sub)
+		for r := 0; r < a.Rows; r++ {
+			copy(plain.Row(r)[jb:jend], part.Row(r))
+		}
+	}
+	if !blocked.Equal(plain) {
+		t.Fatalf("blocked kernel diverges from plain: max |Δ| = %g", blocked.MaxAbsDiff(plain))
+	}
+}
+
+func TestMatMulIntoMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := RandomMatrix(rng, 13, 21, 1)
+	b := RandomMatrix(rng, 21, 9, 1)
+	want := MatMul(a, b)
+	out := NewMatrix(13, 9)
+	out.Fill(3) // Into must overwrite stale contents
+	MatMulInto(out, a, b)
+	if !out.Equal(want) {
+		t.Fatal("MatMulInto diverges from MatMul")
+	}
+}
+
+func TestParallelMatMulBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, shape := range [][3]int{{1, 8, 4}, {17, 33, 29}, {64, 700, 80}} {
+		a := RandomMatrix(rng, shape[0], shape[1], 1)
+		b := RandomMatrix(rng, shape[1], shape[2], 1)
+		want := MatMul(a, b)
+		for _, workers := range []int{1, 2, 3, 8, 100} {
+			got := ParallelMatMul(a, b, workers)
+			if !got.Equal(want) {
+				t.Fatalf("shape %v workers %d: parallel result diverges", shape, workers)
+			}
+		}
+	}
+}
+
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := RandomMatrix(rng, 11, 7, 1)
+	x := make([]float32, 11)
+	y := make([]float32, 7)
+	for i := range x {
+		x[i] = rng.Float32() - 0.5
+	}
+	for i := range y {
+		y[i] = rng.Float32() - 0.5
+	}
+
+	got := make([]float32, 7)
+	VecMatInto(got, x, a)
+	if want := VecMat(x, a); !equalSlice(got, want) {
+		t.Fatal("VecMatInto diverges from VecMat")
+	}
+
+	got = make([]float32, 11)
+	MatVecInto(got, a, y)
+	if want := MatVec(a, y); !equalSlice(got, want) {
+		t.Fatal("MatVecInto diverges from MatVec")
+	}
+
+	u := []float32{1, -2, 3}
+	v := []float32{4, 0.5, -1}
+	got = make([]float32, 3)
+	AddInto(got, u, v)
+	if !equalSlice(got, Add(u, v)) {
+		t.Fatal("AddInto diverges from Add")
+	}
+	HadamardInto(got, u, v)
+	if !equalSlice(got, Hadamard(u, v)) {
+		t.Fatal("HadamardInto diverges from Hadamard")
+	}
+	cat := make([]float32, 6)
+	ConcatInto(cat, u, v)
+	if !equalSlice(cat, Concat(u, v)) {
+		t.Fatal("ConcatInto diverges from Concat")
+	}
+}
+
+func equalSlice(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIntoKernelShapePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"matmul-inner": func() { MatMulInto(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(4, 2)) },
+		"matmul-out":   func() { MatMulInto(NewMatrix(3, 3), NewMatrix(2, 3), NewMatrix(3, 2)) },
+		"vecmat-x":     func() { VecMatInto(make([]float32, 2), make([]float32, 3), NewMatrix(2, 2)) },
+		"vecmat-out":   func() { VecMatInto(make([]float32, 3), make([]float32, 2), NewMatrix(2, 2)) },
+		"matvec-x":     func() { MatVecInto(make([]float32, 2), NewMatrix(2, 2), make([]float32, 3)) },
+		"matvec-out":   func() { MatVecInto(make([]float32, 3), NewMatrix(2, 2), make([]float32, 2)) },
+		"add":          func() { AddInto(make([]float32, 2), make([]float32, 2), make([]float32, 3)) },
+		"hadamard":     func() { HadamardInto(make([]float32, 2), make([]float32, 3), make([]float32, 3)) },
+		"concat":       func() { ConcatInto(make([]float32, 4), make([]float32, 2), make([]float32, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRowWorkers(t *testing.T) {
+	if got := RowWorkers(10, 4); got != 4 {
+		t.Fatalf("RowWorkers(10,4) = %d", got)
+	}
+	if got := RowWorkers(3, 8); got != 3 {
+		t.Fatalf("RowWorkers(3,8) = %d", got)
+	}
+	if got := RowWorkers(5, 0); got < 1 || got > 5 {
+		t.Fatalf("RowWorkers(5,0) = %d", got)
+	}
+	if got := RowWorkers(0, 4); got != 1 {
+		t.Fatalf("RowWorkers(0,4) = %d", got)
+	}
+}
+
+// Every row is visited exactly once, worker ids stay dense in
+// [0, RowWorkers), and chunks never overlap — the invariants per-worker
+// scratch indexing and bit-identical parallelism rest on.
+func TestParallelRowsCoverage(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{1, 1}, {7, 1}, {7, 3}, {100, 8}, {1000, 16}, {5, 64},
+	} {
+		visits := make([]int32, tc.n)
+		nw := RowWorkers(tc.n, tc.workers)
+		var badWorker int32
+		ParallelRows(tc.n, tc.workers, func(w, lo, hi int) {
+			if w < 0 || w >= nw {
+				atomic.StoreInt32(&badWorker, 1)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		if badWorker != 0 {
+			t.Fatalf("n=%d workers=%d: worker id outside [0,%d)", tc.n, tc.workers, nw)
+		}
+		for i, c := range visits {
+			if c != 1 {
+				t.Fatalf("n=%d workers=%d: row %d visited %d times", tc.n, tc.workers, i, c)
+			}
+		}
+	}
+}
+
+// Per-worker accumulation must see no cross-worker interference: each worker
+// sums disjoint rows, and the grand total matches the serial sum.
+func TestParallelRowsWorkerScratch(t *testing.T) {
+	const n = 512
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	const workers = 7
+	partial := make([]float64, workers)
+	var mu sync.Mutex
+	ParallelRows(n, workers, func(w, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += float64(vals[i])
+		}
+		mu.Lock()
+		partial[w] += s
+		mu.Unlock()
+	})
+	var got float64
+	for _, p := range partial {
+		got += p
+	}
+	if want := float64(n*(n-1)) / 2; got != want {
+		t.Fatalf("partial sums total %v, want %v", got, want)
+	}
+}
+
+// The Into kernels are the allocation-free substrate of the execution
+// engine: zero allocations per call, enforced here so regressions surface
+// as test failures rather than silent GC pressure.
+func TestIntoKernelsAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := RandomMatrix(rng, 16, 300, 1)
+	big := RandomMatrix(rng, 300, 200, 1) // blocked-kernel path
+	small := RandomMatrix(rng, 300, 20, 1)
+	out := NewMatrix(16, 200)
+	outSmall := NewMatrix(16, 20)
+	x := make([]float32, 300)
+	vec := make([]float32, 200)
+	for name, fn := range map[string]func(){
+		"MatMulInto-blocked": func() { MatMulInto(out, a, big) },
+		"MatMulInto-plain":   func() { MatMulInto(outSmall, a, small) },
+		"VecMatInto":         func() { VecMatInto(vec, x, big) },
+		"ParallelRows-1":     func() { ParallelRows(16, 1, func(_, lo, hi int) {}) },
+	} {
+		if allocs := testing.AllocsPerRun(20, fn); allocs != 0 {
+			t.Errorf("%s allocates %v per call", name, allocs)
+		}
+	}
+}

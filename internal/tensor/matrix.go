@@ -1,10 +1,24 @@
-// Package tensor provides the small dense linear-algebra substrate used by
-// the golden GNN reference executor and the functional accelerator models.
+// Package tensor provides the dense linear-algebra substrate used by the
+// golden GNN reference executor and the functional accelerator models.
 //
 // Everything is float32 (the paper evaluates IEEE 754 single precision) and
-// row-major. The package is deliberately minimal: GNN weight matrices are
-// small (Table II feature lengths), so cache-oblivious blocking or SIMD
-// dispatch would be unwarranted complexity.
+// row-major. The package is a small kernel layer with an explicit selection
+// policy rather than a BLAS:
+//
+//   - Every allocating op (MatMul, VecMat, Add, …) is a thin wrapper over an
+//     allocation-free Into variant (MatMulInto, VecMatInto, AddInto, …); hot
+//     loops call the Into kernels with caller-owned scratch so steady-state
+//     execution performs no heap allocation.
+//   - GEMM selects its kernel by operand size: while the streamed weight
+//     matrix stays cache-resident (≤ gemmStreamFloats) the plain ikj loop
+//     wins, and larger matrices (Reddit/Yelp/Nell feature dims) switch to
+//     k×j-blocked panels that keep a gemmBlockK×gemmBlockJ tile of b hot.
+//     Both kernels visit the inner dimension in ascending order for every
+//     output element, so kernel selection never changes results bit-wise.
+//   - Row-level parallelism is explicit: ParallelMatMul / ParallelMatMulInto
+//     and the ParallelRows helper fan disjoint row ranges across a bounded
+//     worker count, which is bit-identical to the serial sweep by
+//     construction (each row is produced by the same serial kernel).
 package tensor
 
 import (

@@ -5,56 +5,31 @@ import (
 	"math"
 )
 
-// MatMul returns a·b. Panics on inner-dimension mismatch.
+// MatMul returns a·b. Panics on inner-dimension mismatch. Allocating
+// wrapper over MatMulInto; hot paths use the Into/Parallel variants.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	matMulRowsInto(out, a, b, 0, a.Rows)
 	return out
 }
 
-// MatVec returns a·x for a Rows×Cols matrix and a Cols-vector.
+// MatVec returns a·x for a Rows×Cols matrix and a Cols-vector. Allocating
+// wrapper over MatVecInto.
 func MatVec(a *Matrix, x []float32) []float32 {
-	if a.Cols != len(x) {
-		panic(fmt.Sprintf("tensor: matvec %dx%d · %d", a.Rows, a.Cols, len(x)))
-	}
 	out := make([]float32, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		out[i] = Dot(a.Row(i), x)
-	}
+	MatVecInto(out, a, x)
 	return out
 }
 
 // VecMat returns xᵀ·a for a Rows-vector and a Rows×Cols matrix. This is the
 // orientation the accelerators use (feature-vector times weight matrix).
+// Allocating wrapper over VecMatInto.
 func VecMat(x []float32, a *Matrix) []float32 {
-	if a.Rows != len(x) {
-		panic(fmt.Sprintf("tensor: vecmat %d · %dx%d", len(x), a.Rows, a.Cols))
-	}
 	out := make([]float32, a.Cols)
-	for k, xv := range x {
-		if xv == 0 {
-			continue
-		}
-		row := a.Row(k)
-		for j, av := range row {
-			out[j] += xv * av
-		}
-	}
+	VecMatInto(out, x, a)
 	return out
 }
 
@@ -80,15 +55,13 @@ func Axpy(alpha float32, x, y []float32) {
 	}
 }
 
-// Add returns a+b as a new vector.
+// Add returns a+b as a new vector. Allocating wrapper over AddInto.
 func Add(a, b []float32) []float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: add %d + %d", len(a), len(b)))
 	}
 	out := make([]float32, len(a))
-	for i := range a {
-		out[i] = a[i] + b[i]
-	}
+	AddInto(out, a, b)
 	return out
 }
 
@@ -100,15 +73,14 @@ func Scale(alpha float32, x []float32) []float32 {
 	return x
 }
 
-// Hadamard returns the elementwise product of a and b.
+// Hadamard returns the elementwise product of a and b. Allocating wrapper
+// over HadamardInto.
 func Hadamard(a, b []float32) []float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: hadamard %d ⊙ %d", len(a), len(b)))
 	}
 	out := make([]float32, len(a))
-	for i := range a {
-		out[i] = a[i] * b[i]
-	}
+	HadamardInto(out, a, b)
 	return out
 }
 
