@@ -9,72 +9,114 @@
 //	scale-bench -macs 2048      # override the MAC budget
 //	scale-bench -parallel 8     # worker budget for the sweep engine
 //	scale-bench -speedup        # measure serial vs parallel wall clock
+//	scale-bench -checkpoint sweep.ckpt   # resumable sweep (Ctrl-C safe)
+//	scale-bench -keep-going     # report per-experiment failures, keep sweeping
+//
+// Exit codes: 0 success, 1 usage, 2 bad input, 3 runtime failure (see
+// internal/cli). SIGINT/SIGTERM cancel the sweep at experiment/cell
+// boundaries; with -checkpoint, completed experiments are flushed so a
+// rerun resumes instead of recomputing.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
 	"scale/internal/bench"
+	"scale/internal/cli"
 	"scale/internal/graph"
 )
 
-func main() {
-	var (
-		exp        = flag.String("exp", "", "experiment id to run (default: all)")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		macs       = flag.Int("macs", 1024, "equalized MAC budget")
-		only       = flag.String("datasets", "", "comma-separated dataset subset (e.g. cora,pubmed)")
-		format     = flag.String("format", "text", "output format: text, csv, json")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the sweep engine (1 = serial)")
-		speedup    = flag.Bool("speedup", false, "run the full suite serially, then at -parallel, and report the wall-clock speedup")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to `file` (go tool pprof)")
-		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
-	)
-	flag.Parse()
+func main() { cli.Main("scale-bench", run) }
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("scale-bench", flag.ContinueOnError)
+	fs.StringVar(&flags.exp, "exp", "", "experiment id to run (default: all)")
+	fs.BoolVar(&flags.list, "list", false, "list experiment ids and exit")
+	fs.IntVar(&flags.macs, "macs", 1024, "equalized MAC budget")
+	fs.StringVar(&flags.only, "datasets", "", "comma-separated dataset subset (e.g. cora,pubmed)")
+	fs.StringVar(&flags.format, "format", "text", "output format: text, csv, json")
+	fs.IntVar(&flags.parallel, "parallel", runtime.GOMAXPROCS(0), "worker goroutines for the sweep engine (1 = serial)")
+	fs.BoolVar(&flags.speedup, "speedup", false, "run the full suite serially, then at -parallel, and report the wall-clock speedup")
+	fs.StringVar(&flags.checkpoint, "checkpoint", "", "JSONL checkpoint `file`; completed experiments are recorded and resumed on rerun")
+	fs.BoolVar(&flags.keepGoing, "keep-going", false, "report failed experiments on stderr and keep sweeping instead of stopping at the first failure")
+	fs.StringVar(&flags.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to `file` (go tool pprof)")
+	fs.StringVar(&flags.memprofile, "memprofile", "", "write a heap profile taken after the run to `file`")
+	return fs
+}
+
+// flags is kept as a struct so run stays testable and main stays a one-liner.
+var flags struct {
+	exp        string
+	list       bool
+	macs       int
+	only       string
+	format     string
+	parallel   int
+	speedup    bool
+	checkpoint string
+	keepGoing  bool
+	cpuprofile string
+	memprofile string
+}
+
+func run(ctx context.Context) error {
+	fs := newFlagSet()
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return &cli.UsageError{Err: err}
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments %v", fs.Args())
+	}
+
+	if flags.cpuprofile != "" {
+		f, err := os.Create(flags.cpuprofile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if *memprofile != "" {
+	if flags.memprofile != "" {
 		defer func() {
-			f, err := os.Create(*memprofile)
+			f, err := os.Create(flags.memprofile)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, "scale-bench:", err)
+				return
 			}
 			defer f.Close()
 			runtime.GC() // settle the heap so the profile shows retained state
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, "scale-bench:", err)
 			}
 		}()
 	}
 
-	if *list {
+	if flags.list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Description)
 		}
-		return
+		return nil
 	}
 
 	newSuite := func() (*bench.Suite, error) {
 		s := bench.NewSuite()
-		s.MACs = *macs
-		if *only != "" {
-			s.Datasets = strings.Split(*only, ",")
+		s.MACs = flags.macs
+		if flags.only != "" {
+			s.Datasets = strings.Split(flags.only, ",")
 			for _, d := range s.Datasets {
 				if _, err := graph.ByName(d); err != nil {
 					return nil, err
@@ -85,80 +127,120 @@ func main() {
 	}
 
 	experiments := bench.Experiments()
-	if *exp != "" {
-		e, err := bench.ByID(*exp)
+	if flags.exp != "" {
+		e, err := bench.ByID(flags.exp)
 		if err != nil {
-			fatal(err)
+			return &cli.UsageError{Err: err}
 		}
 		experiments = []bench.Experiment{e}
 	}
 
-	if *speedup {
+	if flags.speedup {
 		// Fresh suite per run so the second run cannot serve the first run's
 		// cache; this is the tool's own serial-vs-parallel benchmark.
-		serial, err := timeRun(newSuite, experiments, 1)
+		serial, err := timeRun(ctx, newSuite, experiments, 1)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		par, err := timeRun(newSuite, experiments, *parallel)
+		par, err := timeRun(ctx, newSuite, experiments, flags.parallel)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("experiments: %d\n", len(experiments))
 		fmt.Printf("serial   (-parallel 1):  %s\n", serial.Round(time.Millisecond))
-		fmt.Printf("parallel (-parallel %d): %s\n", *parallel, par.Round(time.Millisecond))
+		fmt.Printf("parallel (-parallel %d): %s\n", flags.parallel, par.Round(time.Millisecond))
 		fmt.Printf("speedup: %.2fx on %d CPUs\n", serial.Seconds()/par.Seconds(), runtime.NumCPU())
-		return
+		return nil
 	}
 
 	s, err := newSuite()
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	r := bench.NewRunner(s, *parallel)
-	start := time.Now()
-	if *exp == "" {
-		// Full runs touch every cell; warm the cache across the pool first.
-		if err := r.Warm(); err != nil {
-			fatal(err)
-		}
-	}
-	for _, res := range r.Run(experiments) {
-		if res.Err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", res.Experiment.ID, res.Err)
-			os.Exit(1)
-		}
-		out, err := res.Table.Format(*format)
+	r := bench.NewRunner(s, flags.parallel)
+	if flags.checkpoint != "" {
+		cp, err := bench.LoadCheckpoint(flags.checkpoint, checkpointMeta(s))
 		if err != nil {
-			fatal(err)
+			return err
+		}
+		if cp.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "scale-bench: resuming from %s (%d recorded)\n", cp.Path(), cp.Len())
+		}
+		r.Checkpoint = cp
+		// A final flush guarantees the file exists even when the sweep is
+		// cancelled before any experiment completes; per-experiment records
+		// are flushed as they land.
+		defer func() {
+			if err := cp.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "scale-bench: checkpoint flush:", err)
+			}
+		}()
+	}
+	start := time.Now()
+	if flags.exp == "" {
+		// Full runs touch every cell; warm the cache across the pool first.
+		// Under -keep-going a warm failure is survivable: the failing cells
+		// fail again, attributed, inside their own experiments.
+		if err := r.WarmContext(ctx); err != nil && !flags.keepGoing {
+			return err
+		}
+	}
+	var firstErr error
+	resumed := 0
+	for _, res := range r.RunContext(ctx, experiments) {
+		if res.Resumed {
+			resumed++
+		}
+		if res.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", res.Experiment.ID, res.Err)
+			}
+			if !flags.keepGoing {
+				return firstErr
+			}
+			fmt.Fprintf(os.Stderr, "scale-bench: %s: %v\n", res.Experiment.ID, res.Err)
+			continue
+		}
+		out, err := res.Table.Format(flags.format)
+		if err != nil {
+			return &cli.UsageError{Err: err}
 		}
 		fmt.Println(out)
 	}
-	fmt.Fprintf(os.Stderr, "scale-bench: %d experiment(s) in %s (%d workers)\n",
-		len(experiments), time.Since(start).Round(time.Millisecond), r.Workers)
+	note := ""
+	if resumed > 0 {
+		note = fmt.Sprintf(", %d resumed from checkpoint", resumed)
+	}
+	fmt.Fprintf(os.Stderr, "scale-bench: %d experiment(s) in %s (%d workers%s)\n",
+		len(experiments), time.Since(start).Round(time.Millisecond), r.Workers, note)
+	return firstErr
+}
+
+// checkpointMeta fingerprints the configuration a checkpoint is valid for:
+// resuming under a different MAC budget or dataset subset must be rejected,
+// not silently merged.
+func checkpointMeta(s *bench.Suite) string {
+	ds := append([]string(nil), s.Datasets...)
+	sort.Strings(ds)
+	return fmt.Sprintf("macs=%d datasets=%s", s.MACs, strings.Join(ds, ","))
 }
 
 // timeRun executes the experiments on a fresh suite with the given worker
 // budget and returns the wall clock; any experiment error aborts.
-func timeRun(newSuite func() (*bench.Suite, error), exps []bench.Experiment, workers int) (time.Duration, error) {
+func timeRun(ctx context.Context, newSuite func() (*bench.Suite, error), exps []bench.Experiment, workers int) (time.Duration, error) {
 	s, err := newSuite()
 	if err != nil {
 		return 0, err
 	}
 	r := bench.NewRunner(s, workers)
 	start := time.Now()
-	if err := r.Warm(); err != nil {
+	if err := r.WarmContext(ctx); err != nil {
 		return 0, err
 	}
-	for _, res := range r.Run(exps) {
+	for _, res := range r.RunContext(ctx, exps) {
 		if res.Err != nil {
 			return 0, fmt.Errorf("%s: %w", res.Experiment.ID, res.Err)
 		}
 	}
 	return time.Since(start), nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "scale-bench:", err)
-	os.Exit(1)
 }

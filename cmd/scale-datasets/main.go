@@ -10,22 +10,35 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"scale/internal/cli"
 	"scale/internal/graph"
 	"scale/internal/redundancy"
 )
 
-func main() {
+func main() { cli.Main("scale-datasets", run) }
+
+func run(_ context.Context) error {
+	fs := flag.NewFlagSet("scale-datasets", flag.ContinueOnError)
 	var (
-		analyze = flag.Bool("analyze", false, "run redundancy analysis on the built graphs")
-		export  = flag.String("export", "", "directory to export built graphs into")
-		hist    = flag.String("hist", "", "print the degree histogram of one dataset")
+		analyze = fs.Bool("analyze", false, "run redundancy analysis on the built graphs")
+		export  = fs.String("export", "", "directory to export built graphs into")
+		hist    = fs.String("hist", "", "print the degree histogram of one dataset")
 	)
-	flag.Parse()
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return &cli.UsageError{Err: err}
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments %v", fs.Args())
+	}
 
 	fmt.Printf("%-10s %10s %12s %8s %7s %7s  %s\n",
 		"dataset", "|V|", "|E|", "avg-deg", "max", "gini", "feature dims")
@@ -39,7 +52,7 @@ func main() {
 	if *hist != "" {
 		d, err := graph.ByName(*hist)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		p := d.Profile()
 		fmt.Printf("\n%s degree histogram (p50=%d p90=%d p99=%d max=%d):\n%s",
@@ -59,28 +72,24 @@ func main() {
 
 	if *export != "" {
 		if err := os.MkdirAll(*export, 0o755); err != nil {
-			fatal(err)
+			return err
 		}
 		for _, d := range graph.AllDatasets() {
 			g := d.Build()
 			path := filepath.Join(*export, d.Name+".scg")
 			f, err := os.Create(path)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			if err := graph.Encode(f, g); err != nil {
 				f.Close()
-				fatal(err)
+				return err
 			}
 			if err := f.Close(); err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("wrote %s (|V|=%d |E|=%d)\n", path, g.NumVertices(), g.NumEdges())
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "scale-datasets:", err)
-	os.Exit(1)
+	return nil
 }

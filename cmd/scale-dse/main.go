@@ -8,44 +8,60 @@
 //	scale-dse -model gcn -dataset pubmed
 //	scale-dse -model gin -dataset nell -area 30
 //	scale-dse -model gcn -dataset reddit -parallel 8
+//
+// Exit codes: 0 success, 1 usage, 2 bad input, 3 runtime failure. SIGINT
+// and SIGTERM cancel the exploration at design-point boundaries.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
+	"scale/internal/cli"
 	"scale/internal/dse"
 	"scale/internal/gnn"
 	"scale/internal/graph"
 )
 
-func main() {
+func main() { cli.Main("scale-dse", run) }
+
+func run(ctx context.Context) error {
+	fs := flag.NewFlagSet("scale-dse", flag.ContinueOnError)
 	var (
-		model    = flag.String("model", "gcn", "GNN model")
-		dataset  = flag.String("dataset", "cora", "dataset")
-		budget   = flag.Float64("area", 0, "area budget in mm² (0 = no budget pick)")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the exploration (1 = serial)")
+		model    = fs.String("model", "gcn", "GNN model")
+		dataset  = fs.String("dataset", "cora", "dataset")
+		budget   = fs.Float64("area", 0, "area budget in mm² (0 = no budget pick)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the exploration (1 = serial)")
 	)
-	flag.Parse()
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return &cli.UsageError{Err: err}
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments %v", fs.Args())
+	}
 
 	d, err := graph.ByName(*dataset)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	m, err := gnn.NewModel(*model, d.FeatureDims, 1)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	space := dse.DefaultSpace()
 	fmt.Printf("exploring %d design points for %s/%s (%d workers)...\n",
 		space.Size(), *model, *dataset, *parallel)
 	start := time.Now()
-	points, err := dse.ExploreParallel(space, m, d.Profile(), *parallel)
+	points, err := dse.ExploreContext(ctx, space, m, d.Profile(), *parallel)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("explored in %s\n", time.Since(start).Round(time.Millisecond))
 
@@ -61,13 +77,9 @@ func main() {
 	if *budget > 0 {
 		best, err := dse.BestUnderArea(points, *budget)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("\nfastest under %.1f mm²:\n  %v\n", *budget, best)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "scale-dse:", err)
-	os.Exit(1)
+	return nil
 }

@@ -5,48 +5,80 @@
 //
 //	scale-sim -model gcn -dataset cora
 //	scale-sim -model gin -dataset pubmed -macs 2048 -ring 32 -compare
+//	scale-sim -model gcn -edgelist g.txt -features x.txt -dims 8,16,4
+//
+// With -edgelist (and optionally -features), scale-sim runs functional
+// inference over a user-supplied graph instead of a registry dataset: the
+// edge list is "src dst" per line, features are one whitespace-separated
+// row per vertex, and the final-layer embeddings print to stdout. Malformed
+// input files are rejected with typed errors (exit code 2).
+//
+// Exit codes: 0 success, 1 usage, 2 bad input, 3 runtime failure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"scale"
+	"scale/internal/cli"
 	"scale/internal/core"
 	"scale/internal/gnn"
 	"scale/internal/graph"
 )
 
-func main() {
-	var (
-		model   = flag.String("model", "gcn", "GNN model: gcn, ggcn, gs-pl, gin, gat")
-		dataset = flag.String("dataset", "cora", "dataset: cora, citeseer, pubmed, nell, reddit")
-		macs    = flag.Int("macs", 1024, "MAC budget: 512, 1024, 2048, 4096")
-		ring    = flag.Int("ring", 0, "forced ring size (0 = Eq. 3 per layer)")
-		batch   = flag.Int("batch", 0, "forced batch size (0 = analytical model)")
-		policy  = flag.String("policy", "dvs", "scheduling: dvs, degree, vertex")
-		compare = flag.Bool("compare", false, "also run every supporting baseline")
-		trace   = flag.Bool("trace", false, "print per-layer execution traces")
-		cfgPath = flag.String("config", "", "JSON hardware configuration file (overrides -macs/-ring/-batch)")
-	)
-	flag.Parse()
+func main() { cli.Main("scale-sim", run) }
 
+func run(_ context.Context) error {
+	fs := flag.NewFlagSet("scale-sim", flag.ContinueOnError)
+	var (
+		model    = fs.String("model", "gcn", "GNN model: gcn, ggcn, gs-pl, gin, gat")
+		dataset  = fs.String("dataset", "cora", "dataset: cora, citeseer, pubmed, nell, reddit")
+		macs     = fs.Int("macs", 1024, "MAC budget: 512, 1024, 2048, 4096")
+		ring     = fs.Int("ring", 0, "forced ring size (0 = Eq. 3 per layer)")
+		batch    = fs.Int("batch", 0, "forced batch size (0 = analytical model)")
+		policy   = fs.String("policy", "dvs", "scheduling: dvs, degree, vertex")
+		compare  = fs.Bool("compare", false, "also run every supporting baseline")
+		trace    = fs.Bool("trace", false, "print per-layer execution traces")
+		cfgPath  = fs.String("config", "", "JSON hardware configuration file (overrides -macs/-ring/-batch)")
+		edgelist = fs.String("edgelist", "", "edge-list `file` (\"src dst\" per line) for functional inference over a custom graph")
+		featPath = fs.String("features", "", "feature-matrix `file` (one row per vertex); requires -edgelist")
+		dims     = fs.String("dims", "", "comma-separated feature-length chain for -edgelist runs (default: in,16,8)")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return &cli.UsageError{Err: err}
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments %v", fs.Args())
+	}
+
+	if *featPath != "" && *edgelist == "" {
+		return cli.Usagef("-features requires -edgelist")
+	}
+	if *edgelist != "" {
+		return runInference(*model, *edgelist, *featPath, *dims, *macs, *ring, *batch, *policy)
+	}
 	if *cfgPath != "" {
-		runWithConfigFile(*cfgPath, *model, *dataset)
-		return
+		return runWithConfigFile(*cfgPath, *model, *dataset)
 	}
 
 	sim, err := scale.New(scale.Options{
 		MACs: *macs, RingSize: *ring, BatchSize: *batch, Scheduling: *policy,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	report, traces, err := sim.SimulateTraced(*model, *dataset)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Println(report)
 	if *trace {
@@ -62,7 +94,7 @@ func main() {
 	if *compare {
 		all, err := scale.Compare(*model, *dataset)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		names := make([]string, 0, len(all))
 		for n := range all {
@@ -76,40 +108,126 @@ func main() {
 				float64(r.Cycles)/float64(all["SCALE"].Cycles))
 		}
 	}
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "scale-sim:", err)
-	os.Exit(1)
+// runInference executes file-driven functional inference: parse the graph
+// and features (typed input errors on malformed files), run the model
+// through the SCALE dataflow, and print one embedding row per vertex.
+func runInference(model, edgePath, featPath, dimSpec string, macs, ring, batch int, policy string) error {
+	ef, err := os.Open(edgePath)
+	if err != nil {
+		return err
+	}
+	defer ef.Close()
+	g, err := graph.ParseEdgeList(ef, "user", false)
+	if err != nil {
+		return err
+	}
+
+	var features [][]float32
+	if featPath != "" {
+		ff, err := os.Open(featPath)
+		if err != nil {
+			return err
+		}
+		defer ff.Close()
+		if features, err = graph.ParseFeatures(ff); err != nil {
+			return err
+		}
+	}
+
+	n := g.NumVertices()
+	if len(features) > n {
+		// The edge list only implies vertices it names; trailing feature
+		// rows extend the vertex set (isolated vertices are legal).
+		n = len(features)
+	}
+	inDim := 8
+	if features != nil {
+		inDim = len(features[0])
+	}
+	chain := []int{inDim, 16, 8}
+	if dimSpec != "" {
+		chain = chain[:0]
+		for _, f := range strings.Split(dimSpec, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return cli.Usagef("bad -dims value %q", f)
+			}
+			chain = append(chain, v)
+		}
+	}
+	if features == nil {
+		x := gnn.RandomFeatures(graphWithVertices(n), chain[0], 11)
+		features = make([][]float32, x.Rows)
+		for i := range features {
+			features[i] = x.Row(i)
+		}
+		fmt.Fprintf(os.Stderr, "scale-sim: no -features; using seeded random %d-dim features\n", chain[0])
+	}
+
+	sim, err := scale.New(scale.Options{MACs: macs, RingSize: ring, BatchSize: batch, Scheduling: policy})
+	if err != nil {
+		return err
+	}
+	edges := make([][2]int, 0, g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.InNeighbors(v) {
+			edges = append(edges, [2]int{int(u), v})
+		}
+	}
+	out, err := sim.Infer(model, chain, n, edges, features)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "scale-sim: %s over %d vertices, %d edges → %d-dim embeddings\n",
+		model, n, len(edges), chain[len(chain)-1])
+	for v, row := range out {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d", v)
+		for _, x := range row {
+			fmt.Fprintf(&b, " %.5g", x)
+		}
+		fmt.Println(b.String())
+	}
+	return nil
+}
+
+// graphWithVertices builds an edgeless graph of n vertices, used only to
+// shape the seeded random feature fallback.
+func graphWithVertices(n int) *graph.Graph {
+	return graph.NewBuilder(n).Build("user")
 }
 
 // runWithConfigFile simulates with a JSON-specified hardware configuration.
-func runWithConfigFile(path, model, dataset string) {
+func runWithConfigFile(path, model, dataset string) error {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	cfg, err := core.ConfigFromJSON(f)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	accel, err := core.New(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	d, err := graph.ByName(dataset)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	m, err := gnn.NewModel(model, d.FeatureDims, 1)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	r, err := accel.Run(m, d.Profile())
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("%s (%dx%d array, %d MACs): %d cycles, util agg=%.1f%% upd=%.1f%%\n",
 		r.Accelerator, cfg.Rows, cfg.Cols, accel.MACs(), r.Cycles, 100*r.AggUtil, 100*r.UpdateUtil)
+	return nil
 }

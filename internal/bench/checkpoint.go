@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"scale/internal/fault"
+)
+
+// checkpointRecord is one JSONL line of a checkpoint file: either the meta
+// header (first line, Meta set) or one completed experiment. Successful
+// experiments carry their rendered table; failures carry the error text so
+// an interrupted -keep-going run still reports them, but are not treated as
+// completed on resume.
+type checkpointRecord struct {
+	ID    string     `json:"id"`
+	Meta  string     `json:"meta,omitempty"`
+	Table *jsonTable `json:"table,omitempty"`
+	Err   string     `json:"err,omitempty"`
+}
+
+// Checkpoint makes a sweep resumable: one JSONL record per completed
+// experiment, flushed with an atomic rename on every write, so the file on
+// disk is always a complete, parseable snapshot no matter where the process
+// is killed. A Runner with a Checkpoint skips experiments whose successful
+// results are already recorded and replays their tables from the file —
+// byte-identical to recomputing them, since tables are deterministic.
+//
+// The meta string guards against resuming under a different configuration
+// (MAC budget, dataset subset): loading a checkpoint written with different
+// meta is a typed configuration error, not a silently wrong resume.
+type Checkpoint struct {
+	mu    sync.Mutex
+	path  string
+	meta  string
+	order []string // record IDs in append order (stable file layout)
+	recs  map[string]checkpointRecord
+}
+
+// LoadCheckpoint opens or creates the checkpoint at path. A missing file
+// yields an empty checkpoint; an existing file must carry the same meta
+// string it was created with. A trailing partial line (a file captured
+// mid-write by an unclean copy) is tolerated and dropped; any other
+// malformed content is an error.
+func LoadCheckpoint(path, meta string) (*Checkpoint, error) {
+	c := &Checkpoint{path: path, meta: meta, recs: make(map[string]checkpointRecord)}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bench: reading checkpoint: %w", err)
+	}
+	lines := strings.Split(string(data), "\n")
+	sawMeta := false
+	for li, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var rec checkpointRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			if li == len(lines)-1 {
+				break // partial trailing line: drop and resume from the rest
+			}
+			return nil, fmt.Errorf("bench: checkpoint %s line %d: %w", path, li+1, err)
+		}
+		if !sawMeta {
+			if rec.ID != checkpointMetaID {
+				return nil, fmt.Errorf("bench: checkpoint %s has no meta header: %w", path, fault.ErrBadConfig)
+			}
+			if rec.Meta != meta {
+				return nil, fmt.Errorf("bench: checkpoint %s was written for configuration %q, not %q: %w",
+					path, rec.Meta, meta, fault.ErrBadConfig)
+			}
+			sawMeta = true
+			continue
+		}
+		if _, dup := c.recs[rec.ID]; !dup {
+			c.order = append(c.order, rec.ID)
+		}
+		c.recs[rec.ID] = rec
+	}
+	return c, nil
+}
+
+// checkpointMetaID is the reserved record ID of the meta header line.
+const checkpointMetaID = "#meta"
+
+// Len returns the number of recorded experiments (successes and failures).
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// Lookup returns the recorded result of e if a successful run of it is
+// checkpointed. Failed or cancelled records do not resume: they rerun.
+func (c *Checkpoint) Lookup(e Experiment) (ExperimentResult, bool) {
+	c.mu.Lock()
+	rec, ok := c.recs[e.ID]
+	c.mu.Unlock()
+	if !ok || rec.Err != "" || rec.Table == nil {
+		return ExperimentResult{}, false
+	}
+	return ExperimentResult{
+		Experiment: e,
+		Table:      &Table{Title: rec.Table.Title, Header: rec.Table.Header, Rows: rec.Table.Rows, Notes: rec.Table.Notes},
+		Resumed:    true,
+	}, true
+}
+
+// Add records one completed experiment and flushes the file. Records replace
+// earlier records with the same ID (a rerun after a recorded failure).
+func (c *Checkpoint) Add(res ExperimentResult) error {
+	rec := checkpointRecord{ID: res.Experiment.ID}
+	if res.Err != nil {
+		rec.Err = res.Err.Error()
+	} else if res.Table != nil {
+		rec.Table = &jsonTable{Title: res.Table.Title, Header: res.Table.Header, Rows: res.Table.Rows, Notes: res.Table.Notes}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.recs[rec.ID]; !dup {
+		c.order = append(c.order, rec.ID)
+	}
+	c.recs[rec.ID] = rec
+	return c.flushLocked()
+}
+
+// Flush rewrites the checkpoint file from the current record set. Add
+// flushes implicitly; Flush exists so an interrupted run can guarantee a
+// final write (creating the file even when nothing completed).
+func (c *Checkpoint) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+// flushLocked writes every record to a temp file in the checkpoint's
+// directory and renames it over the path: rename is atomic on POSIX, so a
+// kill at any instant leaves either the previous complete snapshot or the
+// new one, never a torn file.
+func (c *Checkpoint) flushLocked() error {
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(c.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("bench: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(checkpointRecord{ID: checkpointMetaID, Meta: c.meta}); err != nil {
+		tmp.Close()
+		return err
+	}
+	for _, id := range c.order {
+		if err := enc.Encode(c.recs[id]); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path)
+}
+
+// Path returns the checkpoint's file path.
+func (c *Checkpoint) Path() string { return c.path }

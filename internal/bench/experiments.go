@@ -12,7 +12,7 @@ type Experiment struct {
 // Experiments lists every experiment in the paper's presentation order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"table1", "qualitative accelerator comparison", func(s *Suite) (*Table, error) { return s.Table1(), nil }},
+		{"table1", "qualitative accelerator comparison", (*Suite).Table1},
 		{"fig1a", "scheduling-induced under-utilization", (*Suite).Fig1a},
 		{"fig1b", "exposed communication vs PE count", func(s *Suite) (*Table, error) { return s.Fig1b(), nil }},
 		{"fig1c", "data volume breakdown", func(s *Suite) (*Table, error) { return s.Fig1c(), nil }},

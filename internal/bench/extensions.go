@@ -85,8 +85,12 @@ func (s *Suite) ExtGAT() (*Table, error) {
 		ds := s.Datasets[i]
 		m := gnn.MustModel("gat", s.Model("gcn", ds).Dims(), 1)
 		p := s.Profile(ds)
+		accels, err := s.Accelerators(ds)
+		if err != nil {
+			return err
+		}
 		results := map[string]*arch.Result{}
-		for _, a := range s.Accelerators(ds) {
+		for _, a := range accels {
 			if !a.Supports(m) {
 				continue
 			}
@@ -182,7 +186,11 @@ func (s *Suite) ExtSweep() (*Table, error) {
 		feat := feats[i%len(feats)]
 		p := graph.SyntheticProfile(fmt.Sprintf("sweep-d%d", deg), vertices, int64(vertices*deg), 0.6, int64(deg))
 		m := gnn.MustModel("gin", []int{feat, 64, 16}, 1)
-		scaleRes, err := s.SCALE().Run(m, p)
+		scale, err := s.SCALE()
+		if err != nil {
+			return err
+		}
+		scaleRes, err := scale.Run(m, p)
 		if err != nil {
 			return err
 		}
@@ -236,7 +244,11 @@ func (s *Suite) ExtIGCN() (*Table, error) {
 		if err != nil {
 			return err
 		}
-		scaleRes, err := s.Run(s.SCALE(), "gcn", ds)
+		scale, err := s.SCALE()
+		if err != nil {
+			return err
+		}
+		scaleRes, err := s.Run(scale, "gcn", ds)
 		if err != nil {
 			return err
 		}
@@ -276,7 +288,11 @@ func (s *Suite) ExtMapping() (*Table, error) {
 		model := models[i%len(models)]
 		m := s.Model(model, ds)
 		p := s.Profile(ds)
-		edge, err := s.SCALE().Run(m, p)
+		scale, err := s.SCALE()
+		if err != nil {
+			return err
+		}
+		edge, err := scale.Run(m, p)
 		if err != nil {
 			return err
 		}
@@ -325,7 +341,11 @@ func (s *Suite) ExtQuant() (*Table, error) {
 		ds := s.Datasets[i]
 		p := s.Profile(ds)
 		m := s.Model("gcn", ds)
-		base, err := s.SCALE().Run(m, p)
+		scale, err := s.SCALE()
+		if err != nil {
+			return err
+		}
+		base, err := scale.Run(m, p)
 		if err != nil {
 			return err
 		}

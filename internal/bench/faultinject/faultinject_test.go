@@ -1,0 +1,353 @@
+package faultinject_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scale/internal/bench"
+	"scale/internal/bench/faultinject"
+	"scale/internal/fault"
+)
+
+// synthExperiments builds n deterministic synthetic experiments whose tables
+// depend only on the index, optionally faulted by the plan.
+func synthExperiments(n int, plan faultinject.Plan) []bench.Experiment {
+	exps := make([]bench.Experiment, n)
+	for i := 0; i < n; i++ {
+		i := i
+		run := plan.Wrap(func(int) error { return nil })
+		exps[i] = bench.Experiment{
+			ID:          fmt.Sprintf("synth-%d", i),
+			Description: "synthetic",
+			Run: func(*bench.Suite) (*bench.Table, error) {
+				if err := run(i); err != nil {
+					return nil, err
+				}
+				t := &bench.Table{
+					Title:  fmt.Sprintf("synthetic table %d", i),
+					Header: []string{"k", "v"},
+				}
+				t.AddRow("index", fmt.Sprint(i))
+				t.AddRow("square", fmt.Sprint(i*i))
+				return t, nil
+			},
+		}
+	}
+	return exps
+}
+
+// TestPanicIsolatedToItsExperiment proves the core isolation claim: one
+// panicking experiment degrades exactly one result while every other
+// experiment completes, and the contained panic surfaces as a typed
+// *fault.PanicError carrying the panic value.
+func TestPanicIsolatedToItsExperiment(t *testing.T) {
+	plan := faultinject.Plan{2: {Kind: faultinject.Panic, Value: "kernel shape violation"}}
+	r := bench.NewRunner(bench.NewSuite(), 4)
+	out := r.Run(synthExperiments(6, plan))
+	if len(out) != 6 {
+		t.Fatalf("got %d results, want 6", len(out))
+	}
+	for i, res := range out {
+		if i == 2 {
+			var pe *fault.PanicError
+			if !errors.As(res.Err, &pe) {
+				t.Fatalf("result 2: err = %v, want *fault.PanicError", res.Err)
+			}
+			if pe.Value != "kernel shape violation" {
+				t.Errorf("panic value = %v", pe.Value)
+			}
+			if len(pe.Stack) == 0 {
+				t.Error("panic error carries no stack")
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Errorf("result %d: unexpected error %v (blast radius escaped item 2)", i, res.Err)
+		}
+		if res.Table == nil {
+			t.Errorf("result %d: no table", i)
+		}
+	}
+}
+
+// TestErrorFaultCarriedInResult proves injected deterministic errors are
+// reported per-experiment without aborting the sweep.
+func TestErrorFaultCarriedInResult(t *testing.T) {
+	boom := errors.New("boom")
+	plan := faultinject.Plan{
+		1: {Kind: faultinject.Error, Err: boom},
+		3: {Kind: faultinject.Error, Err: boom},
+	}
+	out := bench.NewRunner(bench.NewSuite(), 2).Run(synthExperiments(5, plan))
+	for i, res := range out {
+		faulted := i == 1 || i == 3
+		if faulted && !errors.Is(res.Err, boom) {
+			t.Errorf("result %d: err = %v, want boom", i, res.Err)
+		}
+		if !faulted && res.Err != nil {
+			t.Errorf("result %d: unexpected error %v", i, res.Err)
+		}
+	}
+}
+
+// TestCancellationStopsAtExperimentBoundary proves cancellation latency
+// deterministically: with a serial runner, experiment 0 cancels the sweep
+// from inside, and no later experiment starts — they all carry ctx's error.
+func TestCancellationStopsAtExperimentBoundary(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	exps := synthExperiments(5, nil)
+	ran := make([]bool, len(exps))
+	for i := range exps {
+		i, inner := i, exps[i].Run
+		exps[i].Run = func(s *bench.Suite) (*bench.Table, error) {
+			ran[i] = true
+			if i == 0 {
+				cancel()
+			}
+			return inner(s)
+		}
+	}
+	out := bench.NewRunner(bench.NewSuite(), 1).RunContext(ctx, exps)
+	if out[0].Err != nil || out[0].Table == nil {
+		t.Fatalf("experiment 0 (in flight at cancel) should complete: %+v", out[0])
+	}
+	for i := 1; i < len(out); i++ {
+		if ran[i] {
+			t.Errorf("experiment %d started after cancellation", i)
+		}
+		if !errors.Is(out[i].Err, context.Canceled) {
+			t.Errorf("experiment %d: err = %v, want context.Canceled", i, out[i].Err)
+		}
+	}
+}
+
+// TestCancellationCutsDelayedSweepShort proves, wall-clock-wise, that a
+// cancelled sweep does not run its remaining slow experiments: 8 cells of
+// 100ms each on one worker would serially take 800ms, but cancelling during
+// cell 0 finishes the sweep in roughly one cell.
+func TestCancellationCutsDelayedSweepShort(t *testing.T) {
+	const cellDelay = 100 * time.Millisecond
+	plan := faultinject.Plan{}
+	for i := 0; i < 8; i++ {
+		plan[i] = faultinject.Fault{Kind: faultinject.Delay, Sleep: cellDelay}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(cellDelay / 4)
+		cancel()
+	}()
+	start := time.Now()
+	out := bench.NewRunner(bench.NewSuite(), 1).RunContext(ctx, synthExperiments(8, plan))
+	elapsed := time.Since(start)
+	// Generous bound: the in-flight cell completes, later cells must not run.
+	if elapsed > 4*cellDelay {
+		t.Fatalf("cancelled sweep took %v, want well under the 800ms serial time", elapsed)
+	}
+	unstarted := 0
+	for _, res := range out {
+		if errors.Is(res.Err, context.Canceled) {
+			unstarted++
+		}
+	}
+	if unstarted == 0 {
+		t.Fatal("no experiment was cut short by cancellation")
+	}
+}
+
+// TestCheckpointResumeByteIdentical proves the resume contract: a sweep
+// interrupted mid-run and then resumed produces exports byte-identical to an
+// uninterrupted sweep, and the resumed run recomputes nothing it already has.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	render := func(out []bench.ExperimentResult) []string {
+		var texts []string
+		for _, res := range out {
+			if res.Err != nil {
+				t.Fatalf("%s: %v", res.Experiment.ID, res.Err)
+			}
+			j, err := res.Table.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			texts = append(texts, j)
+		}
+		return texts
+	}
+
+	// Reference: uninterrupted sweep, no checkpoint.
+	want := render(bench.NewRunner(bench.NewSuite(), 2).Run(synthExperiments(6, nil)))
+
+	// Interrupted sweep: serial runner, experiment 2 cancels from inside,
+	// so the checkpoint records experiments 0..2 and the rest never run.
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp, err := bench.LoadCheckpoint(path, "synth-meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	exps := synthExperiments(6, nil)
+	for i := range exps {
+		i, inner := i, exps[i].Run
+		exps[i].Run = func(s *bench.Suite) (*bench.Table, error) {
+			if i == 2 {
+				cancel()
+			}
+			return inner(s)
+		}
+	}
+	r1 := bench.NewRunner(bench.NewSuite(), 1)
+	r1.Checkpoint = cp
+	out1 := r1.RunContext(ctx, exps)
+	completed := 0
+	for _, res := range out1 {
+		if res.Err == nil && res.Table != nil {
+			completed++
+		}
+	}
+	if completed == 0 || completed == len(exps) {
+		t.Fatalf("interrupted run completed %d/%d experiments; test needs a partial sweep", completed, len(exps))
+	}
+
+	// Resume: fresh checkpoint handle on the same file (as a new process
+	// would), fresh context. Completed experiments replay from the file.
+	cp2, err := bench.LoadCheckpoint(path, "synth-meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Len() != completed {
+		t.Fatalf("checkpoint has %d records, want %d", cp2.Len(), completed)
+	}
+	var recomputed atomic.Int64
+	exps2 := synthExperiments(6, nil)
+	for i := range exps2 {
+		inner := exps2[i].Run
+		exps2[i].Run = func(s *bench.Suite) (*bench.Table, error) {
+			recomputed.Add(1)
+			return inner(s)
+		}
+	}
+	r2 := bench.NewRunner(bench.NewSuite(), 2)
+	r2.Checkpoint = cp2
+	out2 := r2.Run(exps2)
+	got := render(out2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("experiment %d: resumed export differs from uninterrupted run:\ngot  %s\nwant %s", i, got[i], want[i])
+		}
+	}
+	if int(recomputed.Load()) != len(exps2)-completed {
+		t.Errorf("resume recomputed %d experiments, want %d", recomputed.Load(), len(exps2)-completed)
+	}
+	resumed := 0
+	for _, res := range out2 {
+		if res.Resumed {
+			resumed++
+		}
+	}
+	if resumed != completed {
+		t.Errorf("resume restored %d results, want %d", resumed, completed)
+	}
+}
+
+// TestCheckpointRerunsRecordedFailures proves failures checkpoint for
+// reporting but never resume: after the fault clears, the failed experiment
+// recomputes and succeeds while its healthy neighbours replay.
+func TestCheckpointRerunsRecordedFailures(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp, err := bench.LoadCheckpoint(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faultinject.Plan{1: {Kind: faultinject.Error, Err: errors.New("transient")}}
+	r1 := bench.NewRunner(bench.NewSuite(), 2)
+	r1.Checkpoint = cp
+	out1 := r1.Run(synthExperiments(3, plan))
+	if out1[1].Err == nil {
+		t.Fatal("faulted experiment should have failed")
+	}
+
+	cp2, err := bench.LoadCheckpoint(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := bench.NewRunner(bench.NewSuite(), 2)
+	r2.Checkpoint = cp2
+	out2 := r2.Run(synthExperiments(3, nil)) // fault cleared
+	if out2[1].Err != nil || out2[1].Table == nil {
+		t.Fatalf("cleared experiment should rerun and succeed: %+v", out2[1])
+	}
+	if out2[1].Resumed {
+		t.Error("failed record must not be marked resumed")
+	}
+	if !out2[0].Resumed || !out2[2].Resumed {
+		t.Error("healthy records should resume from the checkpoint")
+	}
+}
+
+// TestCheckpointRejectsForeignMeta proves resuming under a different
+// configuration is a typed configuration error, not a silently wrong merge.
+func TestCheckpointRejectsForeignMeta(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp, err := bench.LoadCheckpoint(path, "macs=1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bench.NewRunner(bench.NewSuite(), 1)
+	r.Checkpoint = cp
+	r.Run(synthExperiments(2, nil))
+
+	if _, err := bench.LoadCheckpoint(path, "macs=4096"); !errors.Is(err, fault.ErrBadConfig) {
+		t.Fatalf("foreign-meta load: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestSuiteCellFaultIsolation injects a panic into exactly one simulation
+// cell through the accelerator seam and proves the suite contains it: the
+// poisoned cell reports a typed CellError naming the cell, the error is
+// cached deterministically (no second simulation attempt), and sibling
+// cells on the same accelerator are untouched.
+func TestSuiteCellFaultIsolation(t *testing.T) {
+	s := bench.NewSuite()
+	inner, err := s.SCALE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &faultinject.Accelerator{
+		Inner: inner,
+		Cells: map[string]faultinject.Fault{
+			faultinject.CellKey("gcn", "cora"): {Kind: faultinject.Panic, Value: "poisoned cell"},
+		},
+	}
+
+	_, err = s.Run(inj, "gcn", "cora")
+	var ce *fault.CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("poisoned cell: err = %v, want *fault.CellError", err)
+	}
+	if ce.Model != "gcn" || ce.Dataset != "cora" {
+		t.Errorf("cell error names (%s, %s)", ce.Model, ce.Dataset)
+	}
+	var pe *fault.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("cell error should wrap the contained panic, got %v", err)
+	}
+
+	if _, err := s.Run(inj, "gcn", "citeseer"); err != nil {
+		t.Fatalf("sibling cell failed: %v", err)
+	}
+
+	calls := inj.Calls()
+	if _, err := s.Run(inj, "gcn", "cora"); err == nil {
+		t.Fatal("cached failure should still fail")
+	}
+	if inj.Calls() != calls {
+		t.Errorf("deterministic failure re-simulated: %d calls, want %d", inj.Calls(), calls)
+	}
+}

@@ -1,9 +1,13 @@
 package bench
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"scale/internal/fault"
 )
 
 // pool bounds the number of goroutines a sweep may occupy. One pool is
@@ -27,33 +31,61 @@ func newPool(workers int) *pool {
 // slots are free and running the item inline on the caller's goroutine
 // otherwise. Running overflow inline (rather than blocking on a slot) is
 // what makes nested forEach calls deadlock-free: a worker that fans out
-// again always makes progress on its own items. Results must be written to
-// caller-owned, per-index storage; forEach itself returns the first error
-// in index order — independent of completion order — so error reporting is
-// deterministic under any interleaving.
-func (p *pool) forEach(n int, fn func(int) error) error {
+// again always makes progress on its own items.
+//
+// forEach is the fault-isolation boundary of the sweep engine:
+//
+//   - A panicking item is recovered into a *fault.PanicError instead of
+//     killing the process; items already in flight still complete.
+//   - Once any item has failed — or ctx is done — no further items are
+//     launched. Items launch in index order, so every index below the first
+//     failing one has already been launched, which keeps the reported error
+//     deterministic: the first error in index order among completed items,
+//     independent of goroutine interleaving.
+//   - Deadlines and cancellation propagate through ctx; when the items all
+//     succeed but the sweep was cut short, forEach returns ctx.Err().
+//
+// Results must be written to caller-owned, per-index storage.
+func (p *pool) forEach(ctx context.Context, n int, fn func(int) error) error {
 	errs := make([]error, n)
 	var wg sync.WaitGroup
+	var failed atomic.Bool
+	run := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				errs[i] = fault.Recovered(v)
+			}
+			if errs[i] != nil {
+				failed.Store(true)
+			}
+		}()
+		errs[i] = fn(i)
+	}
+	launched := n
 	for i := 0; i < n; i++ {
+		if failed.Load() || ctx.Err() != nil {
+			launched = i
+			break
+		}
 		select {
 		case p.sem <- struct{}{}:
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-p.sem }()
-				errs[i] = fn(i)
+				run(i)
 			}(i)
 		default:
-			errs[i] = fn(i)
+			run(i)
 		}
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for _, err := range errs[:launched] {
 		if err != nil {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // ExperimentResult is one experiment's outcome in a Runner sweep.
@@ -62,8 +94,12 @@ type ExperimentResult struct {
 	Table      *Table
 	Err        error
 	// Elapsed is the experiment's own wall clock. It is reporting-only:
-	// tables and errors are deterministic, timings are not.
+	// tables and errors are deterministic, timings are not. Results
+	// restored from a checkpoint report zero.
 	Elapsed time.Duration
+	// Resumed marks a result restored from the Runner's checkpoint rather
+	// than recomputed this run.
+	Resumed bool
 }
 
 // Runner executes the evaluation suite on a bounded worker pool. It fans
@@ -73,11 +109,19 @@ type ExperimentResult struct {
 //
 // A Runner wires its pool into the Suite, so construct one Runner per Suite
 // and reuse it; two Runners driving one Suite would race on the suite's
-// parallelism setting (the caches themselves stay safe).
+// parallelism setting (the caches themselves stay safe). Run one sweep at a
+// time per Runner: a RunContext call installs its context on the Suite for
+// the duration.
 type Runner struct {
 	Suite   *Suite
 	Workers int
-	pool    *pool
+	// Checkpoint, when set, makes sweeps resumable: every successfully
+	// completed experiment is recorded (atomic rename per record), and a
+	// later RunContext over the same experiment list restores recorded
+	// results instead of recomputing them. Failed and cancelled
+	// experiments are recorded for reporting but always rerun on resume.
+	Checkpoint *Checkpoint
+	pool       *pool
 }
 
 // NewRunner returns a Runner with the given worker budget. workers < 1
@@ -92,21 +136,27 @@ func NewRunner(s *Suite, workers int) *Runner {
 	return &Runner{Suite: s, Workers: workers, pool: p}
 }
 
-// Warm fills the suite's result cache for the whole evaluation matrix:
-// every (accelerator, model, dataset) cell, fanned across the pool. The
-// singleflight caches guarantee each profile, redundancy analysis, and
+// Warm fills the suite's result cache for the whole evaluation matrix.
+func (r *Runner) Warm() error { return r.WarmContext(context.Background()) }
+
+// WarmContext fills the suite's result cache for the whole evaluation
+// matrix: every (accelerator, model, dataset) cell, fanned across the pool.
+// The singleflight caches guarantee each profile, redundancy analysis, and
 // simulation runs exactly once even though many workers request them
-// concurrently.
-func (r *Runner) Warm() error {
+// concurrently. Cancelling ctx stops launching new cells; cells already in
+// flight complete first.
+func (r *Runner) WarmContext(ctx context.Context) error {
 	type cell struct{ model, dataset string }
 	s := r.Suite
+	restore := s.withContext(ctx)
+	defer restore()
 	cells := make([]cell, 0, len(s.Models)*len(s.Datasets))
 	for _, m := range s.Models {
 		for _, d := range s.Datasets {
 			cells = append(cells, cell{m, d})
 		}
 	}
-	return r.pool.forEach(len(cells), func(i int) error {
+	return r.pool.forEach(ctx, len(cells), func(i int) error {
 		_, err := s.RunCell(cells[i].model, cells[i].dataset)
 		return err
 	})
@@ -115,17 +165,75 @@ func (r *Runner) Warm() error {
 // Run executes the given experiments concurrently and returns their results
 // in input order.
 func (r *Runner) Run(exps []Experiment) []ExperimentResult {
+	return r.RunContext(context.Background(), exps)
+}
+
+// RunContext is Run under a context. Per-experiment failures — including
+// contained panics, reported as *fault.PanicError — are carried in the
+// results, never aborting the sweep: one poisoned cell degrades one result
+// while every other experiment completes. Cancellation is honoured at
+// experiment boundaries (no new experiments start) and, through the Suite,
+// at the cell boundaries inside each experiment's sweeps; experiments that
+// never ran carry ctx's error in their result.
+func (r *Runner) RunContext(ctx context.Context, exps []Experiment) []ExperimentResult {
+	restore := r.Suite.withContext(ctx)
+	defer restore()
 	out := make([]ExperimentResult, len(exps))
-	_ = r.pool.forEach(len(exps), func(i int) error {
+	ran := make([]bool, len(exps))
+	for i, e := range exps {
+		if r.Checkpoint != nil {
+			if res, ok := r.Checkpoint.Lookup(e); ok {
+				out[i] = res
+				ran[i] = true
+			}
+		}
+	}
+	_ = r.pool.forEach(ctx, len(exps), func(i int) error {
+		if ran[i] {
+			return nil
+		}
+		ran[i] = true
 		start := time.Now()
-		t, err := exps[i].Run(r.Suite)
+		t, err := runExperiment(exps[i], r.Suite)
 		out[i] = ExperimentResult{Experiment: exps[i], Table: t, Err: err, Elapsed: time.Since(start)}
+		if r.Checkpoint != nil {
+			if cerr := r.Checkpoint.Add(out[i]); cerr != nil && err == nil {
+				// A result we cannot record is still a result; surface the
+				// checkpoint failure on the cell rather than losing either.
+				out[i].Err = cerr
+			}
+		}
 		return nil // per-experiment errors are carried in the result
 	})
+	for i := range out {
+		if !ran[i] {
+			out[i] = ExperimentResult{Experiment: exps[i], Err: ctx.Err()}
+		}
+	}
 	return out
+}
+
+// runExperiment executes one experiment with panic containment: a panic
+// anywhere under the experiment's generator — including inside accelerator
+// kernels — surfaces as that experiment's *fault.PanicError.
+func runExperiment(e Experiment, s *Suite) (t *Table, err error) {
+	err = fault.Safely(func() error {
+		var rerr error
+		t, rerr = e.Run(s)
+		return rerr
+	})
+	if err != nil {
+		t = nil
+	}
+	return t, err
 }
 
 // RunAll executes every registered experiment in presentation order.
 func (r *Runner) RunAll() []ExperimentResult {
 	return r.Run(Experiments())
+}
+
+// RunAllContext is RunAll under a context.
+func (r *Runner) RunAllContext(ctx context.Context) []ExperimentResult {
+	return r.RunContext(ctx, Experiments())
 }

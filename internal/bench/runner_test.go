@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -15,7 +16,7 @@ func TestPoolConcurrencyBound(t *testing.T) {
 	const workers, n = 4, 64
 	p := newPool(workers)
 	var cur, peak, ran int64
-	err := p.forEach(n, func(i int) error {
+	err := p.forEach(context.Background(), n, func(i int) error {
 		c := atomic.AddInt64(&cur, 1)
 		for {
 			old := atomic.LoadInt64(&peak)
@@ -41,7 +42,7 @@ func TestPoolConcurrencyBound(t *testing.T) {
 // forEach must report the first error in index order, not completion order.
 func TestPoolErrorIndexOrder(t *testing.T) {
 	p := newPool(8)
-	err := p.forEach(16, func(i int) error {
+	err := p.forEach(context.Background(), 16, func(i int) error {
 		if i == 3 || i == 11 {
 			return fmt.Errorf("item %d failed", i)
 		}
@@ -57,8 +58,8 @@ func TestPoolErrorIndexOrder(t *testing.T) {
 func TestPoolNestedNoDeadlock(t *testing.T) {
 	p := newPool(2)
 	var ran int64
-	err := p.forEach(8, func(i int) error {
-		return p.forEach(8, func(j int) error {
+	err := p.forEach(context.Background(), 8, func(i int) error {
+		return p.forEach(context.Background(), 8, func(j int) error {
 			atomic.AddInt64(&ran, 1)
 			return nil
 		})

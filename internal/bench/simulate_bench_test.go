@@ -32,7 +32,10 @@ func simulateCell(b *testing.B, accels []arch.Accelerator, m *gnn.Model, p *grap
 // inner loop for one cell).
 func BenchmarkSimulateGCNCoraAllAccels(b *testing.B) {
 	s := NewSuite()
-	accels := s.Accelerators("cora")
+	accels, err := s.Accelerators("cora")
+	if err != nil {
+		b.Fatal(err)
+	}
 	m := s.Model("gcn", "cora")
 	p := s.Profile("cora")
 	b.ReportAllocs()
@@ -46,7 +49,10 @@ func BenchmarkSimulateGCNCoraAllAccels(b *testing.B) {
 // dataset (20 simulations per iteration).
 func BenchmarkSimulatePubmedMatrix(b *testing.B) {
 	s := NewSuite()
-	accels := s.Accelerators("pubmed")
+	accels, err := s.Accelerators("pubmed")
+	if err != nil {
+		b.Fatal(err)
+	}
 	models := make([]*gnn.Model, 0, len(s.Models))
 	for _, name := range s.Models {
 		models = append(models, s.Model(name, "pubmed"))
@@ -68,7 +74,10 @@ func BenchmarkSimulateDeepGCNPubmed(b *testing.B) {
 	d := graph.MustByName("pubmed")
 	dims := []int{d.FeatureDims[0], 64, 64, 64, 64, 64, 64, d.FeatureDims[len(d.FeatureDims)-1]}
 	m := gnn.MustModel("gcn", dims, 1)
-	accel := s.SCALE()
+	accel, err := s.SCALE()
+	if err != nil {
+		b.Fatal(err)
+	}
 	p := s.Profile("pubmed")
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -83,7 +92,10 @@ func BenchmarkSimulateDeepGCNPubmed(b *testing.B) {
 // (114M edges as degrees, 233k vertices).
 func BenchmarkSimulateGCNRedditAllAccels(b *testing.B) {
 	s := NewSuite()
-	accels := s.Accelerators("reddit")
+	accels, err := s.Accelerators("reddit")
+	if err != nil {
+		b.Fatal(err)
+	}
 	m := s.Model("gcn", "reddit")
 	p := s.Profile("reddit")
 	b.ReportAllocs()

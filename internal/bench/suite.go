@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"scale/internal/arch"
 	"scale/internal/baseline"
 	"scale/internal/core"
+	"scale/internal/fault"
 	"scale/internal/gnn"
 	"scale/internal/graph"
 	"scale/internal/redundancy"
@@ -31,9 +33,12 @@ type Suite struct {
 	Datasets []string
 
 	// pool bounds the suite's fan-outs (each); serial until a Runner or
-	// SetParallel installs a wider budget.
+	// SetParallel installs a wider budget. ctx is the active sweep's
+	// context (Background when none): generators honour it at cell
+	// boundaries without threading a parameter through every signature.
 	poolMu sync.Mutex
 	pool   *pool
+	ctx    context.Context
 
 	profiles   *sfCache[*graph.Profile]
 	redundancy *sfCache[redundancy.Analysis]
@@ -68,14 +73,44 @@ func (s *Suite) setPool(p *pool) {
 	s.poolMu.Unlock()
 }
 
+// withContext installs ctx as the suite's active sweep context and returns
+// a restore function. The Runner brackets RunContext/WarmContext with it;
+// one sweep at a time per suite.
+func (s *Suite) withContext(ctx context.Context) (restore func()) {
+	s.poolMu.Lock()
+	prev := s.ctx
+	s.ctx = ctx
+	s.poolMu.Unlock()
+	return func() {
+		s.poolMu.Lock()
+		s.ctx = prev
+		s.poolMu.Unlock()
+	}
+}
+
+// Context returns the active sweep context (Background outside a sweep).
+func (s *Suite) Context() context.Context {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if s.ctx == nil {
+		return context.Background()
+	}
+	return s.ctx
+}
+
 // each fans fn(0..n-1) over the suite's worker pool, returning the first
 // error in index order. Generators use it for their independent sweep
-// points; with the default serial pool it is a plain loop.
+// points; with the default serial pool it is a plain loop. Cancellation of
+// the active sweep context stops launching new points.
 func (s *Suite) each(n int, fn func(int) error) error {
 	s.poolMu.Lock()
 	p := s.pool
+	ctx := s.ctx
 	s.poolMu.Unlock()
-	return p.forEach(n, fn)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return p.forEach(ctx, n, fn)
 }
 
 // Profile returns the (cached) full-size profile of a dataset.
@@ -125,26 +160,32 @@ func (s *Suite) Model(model, dataset string) *gnn.Model {
 	return gnn.MustModel(model, graph.MustByName(dataset).FeatureDims, 1)
 }
 
-// SCALE returns the SCALE accelerator at the suite's MAC budget.
-func (s *Suite) SCALE() *core.SCALE {
+// SCALE returns the SCALE accelerator at the suite's MAC budget. An
+// unsupported budget is a typed configuration error (it used to panic,
+// which turned a bad -macs flag into a process kill mid-sweep).
+func (s *Suite) SCALE() (*core.SCALE, error) {
 	cfg, err := core.ConfigForMACs(s.MACs)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	return core.MustNew(cfg)
+	return core.New(cfg)
 }
 
 // Accelerators returns SCALE followed by the four baselines, each configured
 // at the suite's MAC budget and primed with the dataset's redundancy rate.
-func (s *Suite) Accelerators(dataset string) []arch.Accelerator {
-	accels := []arch.Accelerator{s.SCALE()}
+func (s *Suite) Accelerators(dataset string) ([]arch.Accelerator, error) {
+	scale, err := s.SCALE()
+	if err != nil {
+		return nil, err
+	}
+	accels := []arch.Accelerator{scale}
 	for _, b := range baseline.All(s.MACs) {
 		if b.Name() == "ReGNN" {
 			b.RedundancyRate = s.Redundancy(dataset).CapturedRate()
 		}
 		accels = append(accels, b)
 	}
-	return accels
+	return accels, nil
 }
 
 // accelOrder is the canonical accelerator iteration order (the paper's
@@ -164,18 +205,50 @@ func (s *Suite) cellKey(a arch.Accelerator, model, dataset string) string {
 
 // Run simulates one (accelerator, model, dataset) cell with caching.
 // Concurrent calls for the same cell share one simulation.
+//
+// Run is a fault-isolation boundary: a panic anywhere under the simulation
+// — a kernel shape violation, a Must* construction failure — is recovered
+// into a *fault.PanicError, and every failure is wrapped in a
+// *fault.CellError naming the failing cell. Deterministic failures (panics
+// included) are cached like values; cancellation of the active sweep
+// context is checked before starting and is never cached, so a resumed
+// sweep recomputes cells that were cut short.
 func (s *Suite) Run(a arch.Accelerator, model, dataset string) (*arch.Result, error) {
-	return s.results.Do(s.cellKey(a, model, dataset), func() (*arch.Result, error) {
-		return a.Run(s.Model(model, dataset), s.Profile(dataset))
+	if err := s.Context().Err(); err != nil {
+		return nil, err
+	}
+	return s.results.Do(s.cellKey(a, model, dataset), func() (r *arch.Result, err error) {
+		err = fault.Safely(func() error {
+			var rerr error
+			r, rerr = a.Run(s.Model(model, dataset), s.Profile(dataset))
+			return rerr
+		})
+		if err != nil {
+			r = nil
+			err = &fault.CellError{Accelerator: a.Name(), Model: model, Dataset: dataset, Err: err}
+		}
+		return r, err
 	})
 }
 
 // RunCell returns the results of every accelerator that supports the model
-// on the dataset, SCALE first.
+// on the dataset, SCALE first. Unknown model or dataset names are typed
+// input errors, not panics: RunCell sits behind the public Compare API.
 func (s *Suite) RunCell(model, dataset string) (map[string]*arch.Result, error) {
+	d, err := graph.ByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	m, err := gnn.NewModel(model, d.FeatureDims, 1)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[string]*arch.Result)
-	m := s.Model(model, dataset)
-	for _, a := range s.Accelerators(dataset) {
+	accels, err := s.Accelerators(dataset)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range accels {
 		if !a.Supports(m) {
 			continue
 		}

@@ -5,14 +5,18 @@ package bench
 // passing support comes from each accelerator's Supports predicate, and the
 // remaining columns restate the paper's classification, which the quantitative
 // experiments (Fig. 10–16) substantiate.
-func (s *Suite) Table1() *Table {
+func (s *Suite) Table1() (*Table, error) {
 	t := &Table{
 		Title: "Table I — Accelerator comparison",
 		Header: []string{"accelerator", "message-passing", "comm-latency", "unified-dataflow",
 			"data-reuse", "balance-aggr", "balance-update"},
 	}
+	accels, err := s.Accelerators("cora")
+	if err != nil {
+		return nil, err
+	}
 	mp := func(name string) string {
-		for _, a := range s.Accelerators("cora") {
+		for _, a := range accels {
 			if a.Name() == name {
 				if a.Supports(s.Model("ggcn", "cora")) {
 					return "yes"
@@ -27,5 +31,5 @@ func (s *Suite) Table1() *Table {
 	t.AddRow("ReGNN", mp("ReGNN")+" (no edge embed)", "medium", "no", "medium", "no", "yes")
 	t.AddRow("FlowGNN", mp("FlowGNN"), "high", "no", "low", "no", "yes")
 	t.AddRow("SCALE", mp("SCALE"), "low", "yes", "high", "yes", "yes")
-	return t
+	return t, nil
 }

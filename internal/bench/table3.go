@@ -48,12 +48,20 @@ func (s *Suite) Table3Cell(model, dataset string) (float64, error) {
 	rrProfile := s.ReducedProfile(dataset)
 	m := s.Model(model, dataset)
 
-	scaleRR, err := s.SCALE().Run(m, rrProfile)
+	scale, err := s.SCALE()
+	if err != nil {
+		return 0, err
+	}
+	scaleRR, err := scale.Run(m, rrProfile)
 	if err != nil {
 		return 0, fmt.Errorf("bench: SCALE+RR on %s/%s: %w", model, dataset, err)
 	}
+	accels, err := s.Accelerators(dataset)
+	if err != nil {
+		return 0, err
+	}
 	var regnn *arch.Result
-	for _, a := range s.Accelerators(dataset) {
+	for _, a := range accels {
 		if a.Name() == "ReGNN" {
 			regnn, err = a.Run(m, p)
 			if err != nil {

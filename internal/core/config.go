@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"scale/internal/fault"
 	"scale/internal/mem"
 	"scale/internal/sched"
 )
@@ -116,7 +117,7 @@ func ConfigForMACs(macs int) (Config, error) {
 	case 4096:
 		c.Rows, c.Cols = 64, 32
 	default:
-		return Config{}, fmt.Errorf("core: no geometry for %d MACs (have 512/1024/2048/4096)", macs)
+		return Config{}, fmt.Errorf("core: no geometry for %d MACs (have 512/1024/2048/4096): %w", macs, fault.ErrBadConfig)
 	}
 	return c, nil
 }
@@ -133,25 +134,25 @@ func (c Config) LocalBufBytes() int64 { return c.UpdateBufBytes + c.AggBufBytes 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.Rows < 1 || c.Cols < 1 {
-		return fmt.Errorf("core: bad array geometry %dx%d", c.Rows, c.Cols)
+		return fmt.Errorf("core: bad array geometry %dx%d: %w", c.Rows, c.Cols, fault.ErrBadConfig)
 	}
 	if c.MACsPerPE < 2 {
-		return fmt.Errorf("core: need >=2 MACs per PE (agg + update), got %d", c.MACsPerPE)
+		return fmt.Errorf("core: need >=2 MACs per PE (agg + update), got %d: %w", c.MACsPerPE, fault.ErrBadConfig)
 	}
 	if c.WeightBufBytes < 4 || c.WeightBufBytes > c.UpdateBufBytes {
-		return fmt.Errorf("core: weight buffer %d outside (4, update buffer %d]", c.WeightBufBytes, c.UpdateBufBytes)
+		return fmt.Errorf("core: weight buffer %d outside (4, update buffer %d]: %w", c.WeightBufBytes, c.UpdateBufBytes, fault.ErrBadConfig)
 	}
 	if c.RegArrayDepth < 1 {
-		return fmt.Errorf("core: register array depth %d", c.RegArrayDepth)
+		return fmt.Errorf("core: register array depth %d: %w", c.RegArrayDepth, fault.ErrBadConfig)
 	}
 	if c.FreqGHz <= 0 {
-		return fmt.Errorf("core: frequency %f", c.FreqGHz)
+		return fmt.Errorf("core: frequency %f: %w", c.FreqGHz, fault.ErrBadConfig)
 	}
 	if c.FeatureBytes < 0.5 || c.FeatureBytes > 8 {
-		return fmt.Errorf("core: feature bytes %f outside [0.5, 8]", c.FeatureBytes)
+		return fmt.Errorf("core: feature bytes %f outside [0.5, 8]: %w", c.FeatureBytes, fault.ErrBadConfig)
 	}
 	if c.RingSize != 0 && (c.RingSize < 2 || c.RingSize > c.NumPEs()) {
-		return fmt.Errorf("core: ring size %d outside [2, %d]", c.RingSize, c.NumPEs())
+		return fmt.Errorf("core: ring size %d outside [2, %d]: %w", c.RingSize, c.NumPEs(), fault.ErrBadConfig)
 	}
 	return nil
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"scale/internal/fault"
 	"scale/internal/gnn"
 	"scale/internal/graph"
 	"scale/internal/sched"
@@ -114,11 +116,21 @@ func (s *SCALE) Forward(m *gnn.Model, g *graph.Graph, x *tensor.Matrix) ([]*tens
 // the same mapping order regardless of which worker runs it, so the output
 // is bit-identical for every worker count.
 func (s *SCALE) ForwardParallel(m *gnn.Model, g *graph.Graph, x *tensor.Matrix, workers int) ([]*tensor.Matrix, error) {
+	return s.ForwardContext(context.Background(), m, g, x, workers)
+}
+
+// ForwardContext is ForwardParallel under a context: cancellation is
+// honoured at every scheduling-batch boundary (each batch is already a
+// barrier, so no partial-batch state can leak), and a panic inside a worker's
+// kernel chain is contained into a typed per-layer *fault.PanicError instead
+// of tearing down the process. Outputs remain bit-identical to Forward's for
+// any worker count when the call runs to completion.
+func (s *SCALE) ForwardContext(ctx context.Context, m *gnn.Model, g *graph.Graph, x *tensor.Matrix, workers int) ([]*tensor.Matrix, error) {
 	if x.Rows != g.NumVertices() {
-		return nil, fmt.Errorf("core: features have %d rows, graph has %d vertices", x.Rows, g.NumVertices())
+		return nil, fmt.Errorf("core: features have %d rows, graph has %d vertices: %w", x.Rows, g.NumVertices(), fault.ErrBadShape)
 	}
 	if x.Cols != m.InDim() {
-		return nil, fmt.Errorf("core: features have %d cols, model wants %d", x.Cols, m.InDim())
+		return nil, fmt.Errorf("core: features have %d cols, model wants %d: %w", x.Cols, m.InDim(), fault.ErrBadShape)
 	}
 	st, _ := s.fwdPool.Get().(*fwdState)
 	if st == nil {
@@ -138,7 +150,7 @@ func (s *SCALE) ForwardParallel(m *gnn.Model, g *graph.Graph, x *tensor.Matrix, 
 	h := x
 	outs := make([]*tensor.Matrix, 0, len(m.Layers))
 	for li, layer := range m.Layers {
-		out, err := s.forwardLayer(li, layer, g, degrees, h, st, workers)
+		out, err := s.forwardLayer(ctx, li, layer, g, degrees, h, st, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +160,7 @@ func (s *SCALE) ForwardParallel(m *gnn.Model, g *graph.Graph, x *tensor.Matrix, 
 	return outs, nil
 }
 
-func (s *SCALE) forwardLayer(li int, layer gnn.Layer, g *graph.Graph, degrees []int32, h *tensor.Matrix, st *fwdState, workers int) (*tensor.Matrix, error) {
+func (s *SCALE) forwardLayer(ctx context.Context, li int, layer gnn.Layer, g *graph.Graph, degrees []int32, h *tensor.Matrix, st *fwdState, workers int) (*tensor.Matrix, error) {
 	cfg := s.cfg
 	w := layer.Work()
 	ringSize := cfg.RingSizeFor(w.WeightBytes, w.InDim, w.OutDim)
@@ -186,11 +198,19 @@ func (s *SCALE) forwardLayer(li int, layer gnn.Layer, g *graph.Graph, degrees []
 	var groups []*sched.TaskGroup
 	run := func(wid, lo, hi int) {
 		wk := &ws[wid]
+		defer func() {
+			if v := recover(); v != nil {
+				wk.err = fault.Recovered(v)
+			}
+		}()
 		for gi := lo; gi < hi && wk.err == nil; gi++ {
 			wk.err = runGroup(layer, g, groups[gi], psrc, pdst, h, out, seen, wk, kind, width)
 		}
 	}
 	for _, vb := range st.batchesFor(g.NumVertices(), batch) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: layer %d: %w", li, err)
+		}
 		groups, err = scheduler.Schedule(degrees, vb)
 		if err != nil {
 			return nil, fmt.Errorf("core: layer %d: %w", li, err)

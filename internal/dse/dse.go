@@ -8,12 +8,15 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"scale/internal/core"
 	"scale/internal/energy"
+	"scale/internal/fault"
 	"scale/internal/gnn"
 	"scale/internal/graph"
 )
@@ -95,32 +98,59 @@ func Explore(space Space, m *gnn.Model, p *graph.Profile) ([]Point, error) {
 // the reported error (if any) is the first in that order. The output is
 // byte-for-byte identical to Explore's.
 func ExploreParallel(space Space, m *gnn.Model, p *graph.Profile, workers int) ([]Point, error) {
+	return ExploreContext(context.Background(), space, m, p, workers)
+}
+
+// ExploreContext is ExploreParallel under a context: an exploration that
+// would run for hours over a large space can be cancelled or time-bounded,
+// stopping at a design-point boundary (no new points start; points in
+// flight finish). Point evaluations are panic-contained: a panicking
+// simulation surfaces as a typed *fault.PanicError instead of killing the
+// campaign, and — like any point error — stops new points from launching.
+// The deterministic first-error-in-canonical-order guarantee is preserved.
+func ExploreContext(ctx context.Context, space Space, m *gnn.Model, p *graph.Profile, workers int) ([]Point, error) {
 	if space.Size() == 0 {
-		return nil, fmt.Errorf("dse: empty space")
+		return nil, fmt.Errorf("dse: empty space: %w", fault.ErrBadConfig)
 	}
 	cands := space.candidates()
 	evaluated := make([]*Point, len(cands))
 	errs := make([]error, len(cands))
+	var failed atomic.Bool
+	eval := func(i int) {
+		evaluated[i], errs[i] = safeEvaluate(cands[i], m, p)
+		if errs[i] != nil {
+			failed.Store(true)
+		}
+	}
+	launched := len(cands)
 	if workers < 2 {
 		for i := range cands {
-			evaluated[i], errs[i] = evaluate(cands[i], m, p)
+			if failed.Load() || ctx.Err() != nil {
+				launched = i
+				break
+			}
+			eval(i)
 		}
 	} else {
 		sem := make(chan struct{}, workers)
 		var wg sync.WaitGroup
 		for i := range cands {
+			if failed.Load() || ctx.Err() != nil {
+				launched = i
+				break
+			}
 			sem <- struct{}{}
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				evaluated[i], errs[i] = evaluate(cands[i], m, p)
+				eval(i)
 			}(i)
 		}
 		wg.Wait()
 	}
 	var points []Point
-	for i := range cands {
+	for i := 0; i < launched; i++ {
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
@@ -128,7 +158,26 @@ func ExploreParallel(space Space, m *gnn.Model, p *graph.Profile, workers int) (
 			points = append(points, *evaluated[i])
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return points, nil
+}
+
+// safeEvaluate contains a panicking point evaluation: the worker that hit it
+// reports a typed error naming the design point instead of tearing down the
+// whole exploration.
+func safeEvaluate(cand Point, m *gnn.Model, p *graph.Profile) (pt *Point, err error) {
+	err = fault.Safely(func() error {
+		var eerr error
+		pt, eerr = evaluate(cand, m, p)
+		return eerr
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dse: point %dx%d GB=%d buf=%d: %w",
+			cand.Rows, cand.Cols, cand.GBBytes, cand.UpdateBufBytes, err)
+	}
+	return pt, nil
 }
 
 // evaluate simulates one candidate and fills in its metrics. A nil point

@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSafelyContainsPanic(t *testing.T) {
+	err := Safely(func() error { panic("kernel blew up") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T: %v", err, err)
+	}
+	if pe.Value != "kernel blew up" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "fault_test") {
+		t.Errorf("stack not captured from the panic site")
+	}
+}
+
+func TestSafelyPassesThroughResults(t *testing.T) {
+	if err := Safely(func() error { return nil }); err != nil {
+		t.Fatalf("nil fn error became %v", err)
+	}
+	want := errors.New("plain failure")
+	if err := Safely(func() error { return want }); err != want {
+		t.Fatalf("fn error %v became %v", want, err)
+	}
+}
+
+// A panic whose value is an error must stay matchable through the
+// PanicError: panic(fmt.Errorf("...: %w", ErrBadConfig)) is how interior
+// Must* helpers surface typed construction failures.
+func TestPanicErrorUnwrapsErrorValues(t *testing.T) {
+	err := Safely(func() error {
+		panic(fmt.Errorf("geometry rejected: %w", ErrBadConfig))
+	})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("contained panic(err) lost the sentinel: %v", err)
+	}
+	if !IsInput(err) {
+		t.Errorf("IsInput should see through the contained panic")
+	}
+}
+
+func TestCellErrorWrapping(t *testing.T) {
+	inner := Safely(func() error { panic("boom") })
+	err := &CellError{Accelerator: "SCALE", Model: "gcn", Dataset: "cora", Err: inner}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("CellError hides the PanicError: %v", err)
+	}
+	for _, part := range []string{"SCALE", "gcn", "cora", "boom"} {
+		if !strings.Contains(err.Error(), part) {
+			t.Errorf("cell error %q missing %q", err.Error(), part)
+		}
+	}
+}
+
+func TestIsInput(t *testing.T) {
+	for _, s := range []error{ErrBadConfig, ErrBadGraph, ErrBadShape} {
+		if !IsInput(fmt.Errorf("context: %w", s)) {
+			t.Errorf("IsInput(%v) = false", s)
+		}
+	}
+	if IsInput(errors.New("other")) {
+		t.Error("IsInput(other) = true")
+	}
+	if IsInput(nil) {
+		t.Error("IsInput(nil) = true")
+	}
+}

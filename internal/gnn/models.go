@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"scale/internal/fault"
 	"scale/internal/tensor"
 )
 
@@ -23,7 +24,12 @@ func AllModelNames() []string { return append(ModelNames(), "gat", "gat-4h", "gs
 // e.g. NewModel("gcn", []int{1433, 16, 7}, 1).
 func NewModel(name string, dims []int, seed int64) (*Model, error) {
 	if len(dims) < 2 {
-		return nil, fmt.Errorf("gnn: need at least 2 dims, got %v", dims)
+		return nil, fmt.Errorf("gnn: need at least 2 dims, got %v: %w", dims, fault.ErrBadShape)
+	}
+	for _, d := range dims {
+		if d < 1 {
+			return nil, fmt.Errorf("gnn: non-positive layer dim in %v: %w", dims, fault.ErrBadShape)
+		}
 	}
 	m := &Model{ModelName: name}
 	for i := 0; i+1 < len(dims); i++ {
@@ -49,7 +55,7 @@ func NewModel(name string, dims []int, seed int64) (*Model, error) {
 		case "gs-mean":
 			l = newSAGEMeanLayer(layerSeed, dims[i], dims[i+1], !last)
 		default:
-			return nil, fmt.Errorf("gnn: unknown model %q (have %v)", name, AllModelNames())
+			return nil, fmt.Errorf("gnn: unknown model %q (have %v): %w", name, AllModelNames(), fault.ErrBadConfig)
 		}
 		m.Layers = append(m.Layers, l)
 	}

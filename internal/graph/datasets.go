@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"scale/internal/fault"
 )
 
 // Dataset describes one evaluation graph from Table II of the paper: its
@@ -120,7 +122,7 @@ var registry = map[string]Dataset{
 func ByName(name string) (Dataset, error) {
 	d, ok := registry[name]
 	if !ok {
-		return Dataset{}, fmt.Errorf("graph: unknown dataset %q (have %v)", name, DatasetNames())
+		return Dataset{}, fmt.Errorf("graph: unknown dataset %q (have %v): %w", name, DatasetNames(), fault.ErrBadConfig)
 	}
 	return d, nil
 }

@@ -6,7 +6,14 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"scale/internal/fault"
 )
+
+// MaxVertexID caps accepted vertex ids: an edge list naming vertex 2^40
+// (a typo or a corrupt file) must fail as bad input, not as a multi-terabyte
+// allocation attempt — the vertex count is max id + 1.
+const MaxVertexID = 1 << 30
 
 // ParseEdgeList reads a whitespace-separated edge list ("src dst" per line,
 // the SNAP/Graph500 text convention) and builds a graph. Lines starting with
@@ -28,18 +35,21 @@ func ParseEdgeList(r io.Reader, name string, undirected bool) (*Graph, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: want \"src dst\", got %q", lineNo, line)
+			return nil, fmt.Errorf("graph: line %d: want \"src dst\", got %q: %w", lineNo, line, fault.ErrBadGraph)
 		}
 		src, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad source %q", lineNo, fields[0])
+			return nil, fmt.Errorf("graph: line %d: bad source %q: %w", lineNo, fields[0], fault.ErrBadGraph)
 		}
 		dst, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad destination %q", lineNo, fields[1])
+			return nil, fmt.Errorf("graph: line %d: bad destination %q: %w", lineNo, fields[1], fault.ErrBadGraph)
 		}
 		if src < 0 || dst < 0 {
-			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+			return nil, fmt.Errorf("graph: line %d: negative vertex id: %w", lineNo, fault.ErrBadGraph)
+		}
+		if src > MaxVertexID || dst > MaxVertexID {
+			return nil, fmt.Errorf("graph: line %d: vertex id exceeds %d: %w", lineNo, MaxVertexID, fault.ErrBadGraph)
 		}
 		edges = append(edges, edge{src, dst})
 		if src > maxID {
@@ -50,7 +60,7 @@ func ParseEdgeList(r io.Reader, name string, undirected bool) (*Graph, error) {
 		}
 	}
 	if err := scanner.Err(); err != nil {
-		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+		return nil, fmt.Errorf("graph: reading edge list: %v: %w", err, fault.ErrBadGraph)
 	}
 	b := NewBuilder(maxID + 1)
 	for _, e := range edges {

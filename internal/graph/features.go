@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"scale/internal/fault"
+)
+
+// ParseFeatures reads a whitespace-separated feature matrix: one vertex per
+// line, one float per column, '#'/'%' comments and blank lines skipped. Every
+// row must have the same width as the first, and every value must be finite —
+// a NaN or Inf in the input would silently poison every downstream embedding
+// (NaN propagates through aggregation), so it is rejected here as bad input.
+// All failures wrap fault.ErrBadGraph.
+func ParseFeatures(r io.Reader) ([][]float32, error) {
+	var rows [][]float32
+	width := -1
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if width < 0 {
+			width = len(fields)
+		} else if len(fields) != width {
+			return nil, fmt.Errorf("graph: features line %d: %d values, want %d (ragged matrix): %w",
+				lineNo, len(fields), width, fault.ErrBadGraph)
+		}
+		row := make([]float32, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: features line %d: bad value %q: %w", lineNo, f, fault.ErrBadGraph)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("graph: features line %d: non-finite value %q: %w", lineNo, f, fault.ErrBadGraph)
+			}
+			row[i] = float32(v)
+		}
+		rows = append(rows, row)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading features: %v: %w", err, fault.ErrBadGraph)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("graph: empty feature matrix: %w", fault.ErrBadGraph)
+	}
+	return rows, nil
+}

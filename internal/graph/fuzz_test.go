@@ -2,21 +2,37 @@ package graph
 
 import (
 	"bytes"
+	"errors"
+	"math"
 	"strings"
 	"testing"
+
+	"scale/internal/fault"
 )
 
-// FuzzParseEdgeList: the parser must never panic and every accepted graph
-// must satisfy the structural invariants.
+// ErrBadGraphSentinel aliases the typed sentinel every loader rejection
+// must wrap, so the fuzz targets double as error-classification tests.
+var ErrBadGraphSentinel = fault.ErrBadGraph
+
+// FuzzParseEdgeList: the parser must never panic, every accepted graph
+// must satisfy the structural invariants, and every rejection must carry
+// the typed bad-input sentinel.
 func FuzzParseEdgeList(f *testing.F) {
 	f.Add("0 1\n1 2\n")
 	f.Add("# comment\n5 5\n")
 	f.Add("")
 	f.Add("999999 0\n")
 	f.Add("1 2 3 extra fields\n")
+	f.Add("-1 0\n")
+	f.Add("0 -7\n")
+	f.Add("2147483648 0\n") // beyond MaxVertexID
+	f.Add("x y\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		g, err := ParseEdgeList(strings.NewReader(input), "fuzz", false)
 		if err != nil {
+			if !errors.Is(err, ErrBadGraphSentinel) {
+				t.Fatalf("rejection must wrap fault.ErrBadGraph, got: %v", err)
+			}
 			return
 		}
 		if err := g.Validate(); err != nil {
@@ -26,7 +42,8 @@ func FuzzParseEdgeList(f *testing.F) {
 }
 
 // FuzzDecode: the binary decoder must reject corrupt streams without
-// panicking, and accepted graphs must validate.
+// panicking, and accepted graphs must validate. Truncation seeds cover
+// every prefix-cut class: mid-magic, mid-header, mid-rowPtr, mid-colIdx.
 func FuzzDecode(f *testing.F) {
 	var seed bytes.Buffer
 	if err := Encode(&seed, Path(5)); err != nil {
@@ -35,13 +52,55 @@ func FuzzDecode(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte("SCG1garbage"))
 	f.Add([]byte{})
+	for _, cut := range []int{2, 6, 12, seed.Len() / 2, seed.Len() - 3} {
+		if cut > 0 && cut < seed.Len() {
+			f.Add(seed.Bytes()[:cut])
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := Decode(bytes.NewReader(data))
 		if err != nil {
+			if !errors.Is(err, ErrBadGraphSentinel) {
+				t.Fatalf("rejection must wrap fault.ErrBadGraph, got: %v", err)
+			}
 			return
 		}
 		if err := g.Validate(); err != nil {
 			t.Fatalf("decoded graph fails invariants: %v", err)
+		}
+	})
+}
+
+// FuzzParseFeatures: the feature parser must never panic, never accept a
+// non-finite value or a ragged matrix, and reject with typed errors.
+func FuzzParseFeatures(f *testing.F) {
+	f.Add("1.0 2.0\n3.0 4.0\n")
+	f.Add("# header\n0.5\n")
+	f.Add("")
+	f.Add("nan nan\n")
+	f.Add("1 2\n3\n")
+	f.Add("+Inf 0\n")
+	f.Add("1e40 0\n") // overflows float32 → ParseFloat range error
+	f.Fuzz(func(t *testing.T, input string) {
+		rows, err := ParseFeatures(strings.NewReader(input))
+		if err != nil {
+			if !errors.Is(err, ErrBadGraphSentinel) {
+				t.Fatalf("rejection must wrap fault.ErrBadGraph, got: %v", err)
+			}
+			return
+		}
+		if len(rows) == 0 {
+			t.Fatal("accepted an empty matrix")
+		}
+		for i, row := range rows {
+			if len(row) != len(rows[0]) {
+				t.Fatalf("accepted ragged row %d", i)
+			}
+			for _, v := range row {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					t.Fatalf("accepted non-finite value %v", v)
+				}
+			}
 		}
 	})
 }

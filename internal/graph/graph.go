@@ -11,6 +11,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"scale/internal/fault"
 )
 
 // Graph is an immutable directed graph in CSR (in-edge) form.
@@ -148,24 +150,29 @@ func (g *Graph) HasEdge(src, dst int) bool {
 func (g *Graph) Validate() error {
 	n := g.NumVertices()
 	if g.rowPtr[0] != 0 {
-		return fmt.Errorf("graph %q: rowPtr[0] = %d, want 0", g.name, g.rowPtr[0])
+		return fmt.Errorf("graph %q: rowPtr[0] = %d, want 0: %w", g.name, g.rowPtr[0], fault.ErrBadGraph)
 	}
 	for v := 0; v < n; v++ {
 		if g.rowPtr[v+1] < g.rowPtr[v] {
-			return fmt.Errorf("graph %q: rowPtr not monotone at %d", g.name, v)
+			return fmt.Errorf("graph %q: rowPtr not monotone at %d: %w", g.name, v, fault.ErrBadGraph)
+		}
+		// Bounds before slicing: a decoded stream can carry row pointers
+		// past |E|, and InNeighbors must not panic during validation.
+		if int(g.rowPtr[v+1]) > len(g.colIdx) {
+			return fmt.Errorf("graph %q: rowPtr[%d]=%d exceeds |E|=%d: %w", g.name, v+1, g.rowPtr[v+1], len(g.colIdx), fault.ErrBadGraph)
 		}
 		row := g.InNeighbors(v)
 		for i, u := range row {
 			if u < 0 || int(u) >= n {
-				return fmt.Errorf("graph %q: neighbor %d of %d out of range", g.name, u, v)
+				return fmt.Errorf("graph %q: neighbor %d of %d out of range: %w", g.name, u, v, fault.ErrBadGraph)
 			}
 			if i > 0 && row[i-1] > u {
-				return fmt.Errorf("graph %q: adjacency of %d not sorted", g.name, v)
+				return fmt.Errorf("graph %q: adjacency of %d not sorted: %w", g.name, v, fault.ErrBadGraph)
 			}
 		}
 	}
 	if int(g.rowPtr[n]) != len(g.colIdx) {
-		return fmt.Errorf("graph %q: rowPtr[n]=%d != |E|=%d", g.name, g.rowPtr[n], len(g.colIdx))
+		return fmt.Errorf("graph %q: rowPtr[n]=%d != |E|=%d: %w", g.name, g.rowPtr[n], len(g.colIdx), fault.ErrBadGraph)
 	}
 	return nil
 }

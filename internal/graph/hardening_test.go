@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"scale/internal/fault"
+)
+
+// TestParseEdgeListRejections pins the typed-error contract of the edge-list
+// loader: every malformed input class is rejected with fault.ErrBadGraph.
+func TestParseEdgeListRejections(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"negative source", "-1 0\n"},
+		{"negative destination", "0 -3\n"},
+		{"missing field", "7\n"},
+		{"non-numeric source", "a 0\n"},
+		{"non-numeric destination", "0 b\n"},
+		{"huge vertex id", fmt.Sprintf("%d 0\n", MaxVertexID+1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseEdgeList(strings.NewReader(tc.input), "bad", false)
+			if err == nil {
+				t.Fatal("accepted malformed input")
+			}
+			if !errors.Is(err, fault.ErrBadGraph) {
+				t.Fatalf("err = %v, want wrapped fault.ErrBadGraph", err)
+			}
+		})
+	}
+}
+
+// TestParseEdgeListAcceptsValid pins the accept side: comments, blank
+// lines, and gap vertex ids (isolated vertices) all load.
+func TestParseEdgeListAcceptsValid(t *testing.T) {
+	g, err := ParseEdgeList(strings.NewReader("# c\n\n% c\n0 1\n5 1\n"), "ok", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 6 || g.NumEdges() != 2 {
+		t.Fatalf("|V|=%d |E|=%d, want 6 and 2", g.NumVertices(), g.NumEdges())
+	}
+}
+
+// TestDecodeTruncatedStreams pins that a binary graph stream cut at any
+// byte boundary is rejected as typed bad input, never a panic or a bogus
+// accept.
+func TestDecodeTruncatedStreams(t *testing.T) {
+	var full bytes.Buffer
+	if err := Encode(&full, Path(9)); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < full.Len(); cut++ {
+		if _, err := Decode(bytes.NewReader(full.Bytes()[:cut])); !errors.Is(err, fault.ErrBadGraph) {
+			t.Fatalf("cut at %d/%d: err = %v, want wrapped fault.ErrBadGraph", cut, full.Len(), err)
+		}
+	}
+	if _, err := Decode(bytes.NewReader(full.Bytes())); err != nil {
+		t.Fatalf("full stream must decode: %v", err)
+	}
+}
+
+// TestDecodeCorruptAdjacency pins that structurally invalid decoded content
+// (an out-of-range neighbor) fails Validate with the typed sentinel.
+func TestDecodeCorruptAdjacency(t *testing.T) {
+	var full bytes.Buffer
+	if err := Encode(&full, Path(4)); err != nil {
+		t.Fatal(err)
+	}
+	data := full.Bytes()
+	// The colIdx section is the tail; overwrite its last int32 with 0xFF
+	// bytes to produce a neighbor far outside the vertex range.
+	for i := len(data) - 4; i < len(data); i++ {
+		data[i] = 0xFF
+	}
+	if _, err := Decode(bytes.NewReader(data)); !errors.Is(err, fault.ErrBadGraph) {
+		t.Fatalf("corrupt adjacency: err = %v, want wrapped fault.ErrBadGraph", err)
+	}
+}
+
+// TestParseFeaturesRejections pins the feature loader's typed-error
+// contract: NaN, Inf, ragged rows, non-numeric values, and empty matrices.
+func TestParseFeaturesRejections(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"NaN", "0 nan\n"},
+		{"positive Inf", "inf 0\n"},
+		{"negative Inf", "0 -Inf\n"},
+		{"ragged", "1 2\n3\n"},
+		{"non-numeric", "1 x\n"},
+		{"empty", ""},
+		{"comments only", "# nothing\n"},
+		{"float32 overflow", "1e40\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseFeatures(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("accepted malformed input")
+			}
+			if !errors.Is(err, fault.ErrBadGraph) {
+				t.Fatalf("err = %v, want wrapped fault.ErrBadGraph", err)
+			}
+		})
+	}
+}
+
+// TestParseFeaturesAcceptsValid pins the accept side, including comments
+// and scientific notation.
+func TestParseFeaturesAcceptsValid(t *testing.T) {
+	rows, err := ParseFeatures(strings.NewReader("# two vertices\n1.5 -2e-3\n0 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || len(rows[0]) != 2 {
+		t.Fatalf("got %dx%d", len(rows), len(rows[0]))
+	}
+	if rows[0][0] != 1.5 || rows[1][1] != 4 {
+		t.Fatalf("values misparsed: %v", rows)
+	}
+}
+
+// TestByNameUnknownIsTypedConfigError pins the registry's error class.
+func TestByNameUnknownIsTypedConfigError(t *testing.T) {
+	if _, err := ByName("not-a-dataset"); !errors.Is(err, fault.ErrBadConfig) {
+		t.Fatalf("err = %v, want wrapped fault.ErrBadConfig", err)
+	}
+}

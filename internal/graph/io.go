@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"scale/internal/fault"
 )
 
 // Binary format: magic, name, |V|, |E|, rowPtr, colIdx — little endian.
@@ -39,50 +41,75 @@ func Encode(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// Decode reads a graph previously written by Encode and validates it.
+// Decode reads a graph previously written by Encode and validates it. Every
+// failure — bad magic, implausible header, truncation mid-section — wraps
+// fault.ErrBadGraph so callers can classify it as bad input.
 func Decode(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("graph: reading magic: %w", err)
+		return nil, fmt.Errorf("graph: reading magic: %v: %w", err, fault.ErrBadGraph)
 	}
 	if m != magic {
-		return nil, fmt.Errorf("graph: bad magic %q", m)
+		return nil, fmt.Errorf("graph: bad magic %q: %w", m, fault.ErrBadGraph)
 	}
 	var nameLen int32
 	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: reading name length: %v: %w", err, fault.ErrBadGraph)
 	}
 	if nameLen < 0 || nameLen > 1<<20 {
-		return nil, fmt.Errorf("graph: implausible name length %d", nameLen)
+		return nil, fmt.Errorf("graph: implausible name length %d: %w", nameLen, fault.ErrBadGraph)
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: reading name: %v: %w", err, fault.ErrBadGraph)
 	}
 	var v, e int64
 	if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: reading |V|: %v: %w", err, fault.ErrBadGraph)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &e); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: reading |E|: %v: %w", err, fault.ErrBadGraph)
 	}
 	if v < 0 || e < 0 || v > 1<<34 || e > 1<<38 {
-		return nil, fmt.Errorf("graph: implausible sizes |V|=%d |E|=%d", v, e)
+		return nil, fmt.Errorf("graph: implausible sizes |V|=%d |E|=%d: %w", v, e, fault.ErrBadGraph)
 	}
-	g := &Graph{
-		name:   string(name),
-		rowPtr: make([]int32, v+1),
-		colIdx: make([]int32, e),
+	g := &Graph{name: string(name)}
+	var err error
+	// Chunked reads keep memory proportional to the bytes actually present:
+	// a corrupt header claiming 2^34 vertices must fail at EOF after the
+	// real data runs out, not commit a 64 GB allocation up front.
+	if g.rowPtr, err = readInt32s(br, v+1); err != nil {
+		return nil, fmt.Errorf("graph: reading row pointers (truncated?): %v: %w", err, fault.ErrBadGraph)
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.rowPtr); err != nil {
-		return nil, err
-	}
-	if err := binary.Read(br, binary.LittleEndian, g.colIdx); err != nil {
-		return nil, err
+	if g.colIdx, err = readInt32s(br, e); err != nil {
+		return nil, fmt.Errorf("graph: reading adjacency (truncated?): %v: %w", err, fault.ErrBadGraph)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	return g, nil
+}
+
+// readInt32s reads exactly n little-endian int32s, growing the result in
+// bounded chunks so truncated streams fail before large allocations.
+func readInt32s(r io.Reader, n int64) ([]int32, error) {
+	const chunk = 1 << 20
+	first := n
+	if first > chunk {
+		first = chunk
+	}
+	out := make([]int32, 0, first)
+	for int64(len(out)) < n {
+		c := n - int64(len(out))
+		if c > chunk {
+			c = chunk
+		}
+		buf := make([]int32, c)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
 }
