@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint race fuzz bench bench-smoke verify
+.PHONY: build test lint race fuzz bench bench-serve bench-smoke serve-smoke verify
 
 # Tier 1: everything compiles and the full test suite passes.
 build:
@@ -20,7 +20,7 @@ test: build
 lint:
 	$(GO) vet ./...
 	@bad=$$(grep -rn --include='*.go' -e 'panic(' -e 'log\.Fatal' \
-	        internal/bench internal/dse cmd \
+	        internal/bench internal/dse internal/serve cmd \
 	    | grep -v '_test\.go:' \
 	    | grep -v 'lint:allow-panic'); \
 	if [ -n "$$bad" ]; then \
@@ -32,14 +32,17 @@ lint:
 	fi
 
 # Tier 2: race detector over the concurrent sweep engine (and the packages
-# it drives) plus the parallel execution engine (tensor row fan-out, the
-# row-parallel reference executor, the group-parallel functional executor).
-# The bench tests shrink their heaviest sweeps under -race (see
+# it drives), the parallel execution engine (tensor row fan-out, the
+# row-parallel reference executor, the group-parallel functional executor),
+# and the serving layer (session cache, micro-batcher, admission queue,
+# drain — including the mixed-session panic/drain stress test). The bench
+# tests shrink their heaviest sweeps under -race (see
 # internal/bench/race_on.go) to keep this tractable. -timeout bounds a
 # deadlocked cancellation path instead of hanging CI.
 race:
 	$(GO) test -race -timeout 10m ./internal/bench/... ./internal/dse/...
 	$(GO) test -race -timeout 10m ./internal/tensor/ ./internal/gnn/ ./internal/core/
+	$(GO) test -race -timeout 10m ./internal/serve/ .
 
 # Tier 3: short fuzz passes over the parsers (graph edge lists, binary
 # graph decoding, feature matrices, config JSON round-trip).
@@ -63,9 +66,49 @@ bench:
 		./internal/bench ./internal/core ./internal/sched ./internal/gnn | \
 		$(GO) run ./cmd/scale-benchjson -label $(BENCH_LABEL) -out $(BENCH_OUT)
 
+# Serving-performance tier: the micro-batched vs one-at-a-time serve
+# throughput comparison, committed to BENCH_pr5.json.
+BENCH5_COUNT ?= 5
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchmem -count $(BENCH5_COUNT) \
+		./internal/serve | \
+		$(GO) run ./cmd/scale-benchjson -label serve -out BENCH_pr5.json
+
 # Smoke-run the CLIs end to end.
 bench-smoke:
 	$(GO) run ./cmd/scale-bench -exp fig1b
 	$(GO) run ./cmd/scale-dse -dataset cora -parallel 2
 
-verify: test lint race bench-smoke
+# Serving smoke: boot scale-serve, fire a concurrent infer burst (so the
+# micro-batcher actually coalesces), hit /healthz, /metrics and
+# /v1/simulate, then SIGTERM and require a clean drain (exit 0).
+SERVE_ADDR ?= 127.0.0.1:18321
+serve-smoke:
+	$(GO) build -o /tmp/scale-serve-smoke ./cmd/scale-serve
+	@set -e; \
+	/tmp/scale-serve-smoke -addr $(SERVE_ADDR) -batch-window 5ms -max-batch 8 \
+	    >/tmp/scale-serve-smoke.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	ok=0; for i in $$(seq 1 50); do \
+	    if curl -sf http://$(SERVE_ADDR)/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+	    sleep 0.1; \
+	done; \
+	[ "$$ok" = 1 ] || { echo "serve-smoke: server never became healthy"; \
+	    cat /tmp/scale-serve-smoke.log; exit 1; }; \
+	body='{"model":"gin","dims":[2,3],"num_vertices":3,"edges":[[0,1],[2,1]],"features":[[1,0],[0,1],[1,1]]}'; \
+	pids=""; for i in $$(seq 1 24); do \
+	    curl -sf -X POST -d "$$body" -o /dev/null http://$(SERVE_ADDR)/v1/infer & \
+	    pids="$$pids $$!"; \
+	done; \
+	for p in $$pids; do wait $$p || { echo "serve-smoke: infer request failed"; exit 1; }; done; \
+	curl -sf -X POST -d '{"model":"gcn","dataset":"cora"}' \
+	    http://$(SERVE_ADDR)/v1/simulate >/dev/null; \
+	curl -sf http://$(SERVE_ADDR)/metrics | \
+	    grep -q 'scale_serve_requests_total{endpoint="infer",code="200"} 24' || \
+	    { echo "serve-smoke: metrics missing the infer burst"; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "serve-smoke: unclean drain"; cat /tmp/scale-serve-smoke.log; exit 1; }; \
+	trap - EXIT; \
+	echo "serve-smoke: 24 infer + 1 simulate served, drained cleanly"
+
+verify: test lint race bench-smoke serve-smoke

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -67,7 +68,9 @@ func main() {
 	summarize(entry)
 
 	if *out == "" {
-		emit(os.Stdout, File{Entries: []Entry{*entry}})
+		if err := emit(os.Stdout, File{Entries: []Entry{*entry}}); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	var file File
@@ -78,30 +81,37 @@ func main() {
 	} else if !os.IsNotExist(err) {
 		fatal(err)
 	}
-	replaced := false
-	for i := range file.Entries {
-		if file.Entries[i].Label == entry.Label {
-			file.Entries[i] = *entry
-			replaced = true
-			break
-		}
-	}
-	if !replaced {
-		file.Entries = append(file.Entries, *entry)
-	}
+	merge(&file, entry)
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
-	emit(f, file)
+	if err := emit(f, file); err != nil {
+		fatal(err)
+	}
 	fmt.Fprintf(os.Stderr, "scale-benchjson: wrote entry %q (%d benchmarks) to %s\n",
 		entry.Label, len(entry.Benchmarks), *out)
 }
 
+// merge inserts entry into file, replacing an existing entry with the same
+// label in place so re-running a labeled `make bench` is idempotent.
+func merge(file *File, entry *Entry) {
+	for i := range file.Entries {
+		if file.Entries[i].Label == entry.Label {
+			file.Entries[i] = *entry
+			return
+		}
+	}
+	file.Entries = append(file.Entries, *entry)
+}
+
 // parse reads `go test -bench` output and groups repeated Benchmark lines by
-// (pkg, name).
-func parse(r *os.File, label string) (*Entry, error) {
+// (pkg, name). Lines that do not parse as benchmark results — truncated
+// fields, non-numeric iteration counts, unknown units — are skipped rather
+// than failing the run, because `go test` interleaves arbitrary test output
+// with the benchmark lines.
+func parse(r io.Reader, label string) (*Entry, error) {
 	entry := &Entry{Label: label}
 	byKey := map[string]*Benchmark{}
 	var order []string
@@ -215,12 +225,10 @@ func medianInt(xs []int64) string {
 	return strconv.FormatInt(s[len(s)/2], 10)
 }
 
-func emit(f *os.File, file File) {
-	enc := json.NewEncoder(f)
+func emit(w io.Writer, file File) error {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(file); err != nil {
-		fatal(err)
-	}
+	return enc.Encode(file)
 }
 
 func fatal(err error) {

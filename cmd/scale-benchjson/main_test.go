@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestParseGolden pins the bench-output → JSON conversion against a golden
+// file. The fixture deliberately interleaves malformed lines — truncated
+// benchmark names, non-numeric iteration counts, unparseable values,
+// unknown units, plain test log output — which must be skipped without
+// failing the conversion.
+func TestParseGolden(t *testing.T) {
+	in, err := os.Open(filepath.Join("testdata", "bench_input.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	entry, err := parse(in, "after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := emit(&got, File{Entries: []Entry{*entry}}); err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.WriteFile(goldenPath, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got.Bytes()) {
+		t.Fatalf("conversion drifted from golden (re-run with -update to accept):\n--- want\n%s\n--- got\n%s", want, got.Bytes())
+	}
+}
+
+// TestParseMalformedLines spells out the skip semantics the golden file
+// relies on, line class by line class.
+func TestParseMalformedLines(t *testing.T) {
+	input := strings.Join([]string{
+		"BenchmarkTruncated",               // too few fields
+		"BenchmarkShort 100",               // still too few
+		"BenchmarkBadIters abc 123 ns/op",  // iterations not an integer
+		"BenchmarkBadValue 100 xx ns/op",   // value not a float: line kept, metric dropped
+		"BenchmarkGood-2 10 25 ns/op 3 allocs/op junk", // odd trailing field ignored
+		"not a benchmark line at all",
+	}, "\n")
+	entry, err := parse(strings.NewReader(input), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entry.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %+v, want BadValue and Good only", entry.Benchmarks)
+	}
+	bad, good := entry.Benchmarks[0], entry.Benchmarks[1]
+	if bad.Name != "BenchmarkBadValue" || len(bad.Iterations) != 1 || len(bad.NsPerOp) != 0 {
+		t.Fatalf("BadValue parsed as %+v", bad)
+	}
+	if good.Name != "BenchmarkGood" || good.Procs != 2 ||
+		len(good.NsPerOp) != 1 || good.NsPerOp[0] != 25 ||
+		len(good.AllocsPerOp) != 1 || good.AllocsPerOp[0] != 3 {
+		t.Fatalf("Good parsed as %+v", good)
+	}
+}
+
+// TestParseEmpty mirrors main's no-benchmark-lines failure path.
+func TestParseEmpty(t *testing.T) {
+	entry, err := parse(strings.NewReader("PASS\nok \tscale\t0.1s\n"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entry.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %+v, want none", entry.Benchmarks)
+	}
+}
+
+// TestMergeReplacesByLabel pins the idempotent-rerun contract: merging an
+// entry whose label already exists replaces it in place; a new label
+// appends.
+func TestMergeReplacesByLabel(t *testing.T) {
+	file := File{Entries: []Entry{
+		{Label: "before", Benchmarks: []Benchmark{{Name: "A"}}},
+		{Label: "after", Benchmarks: []Benchmark{{Name: "B"}}},
+	}}
+	merge(&file, &Entry{Label: "after", Benchmarks: []Benchmark{{Name: "C"}}})
+	if len(file.Entries) != 2 || file.Entries[1].Benchmarks[0].Name != "C" {
+		t.Fatalf("replace in place failed: %+v", file.Entries)
+	}
+	merge(&file, &Entry{Label: "pr5"})
+	if len(file.Entries) != 3 || file.Entries[2].Label != "pr5" {
+		t.Fatalf("append failed: %+v", file.Entries)
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 0},
+		{"BenchmarkFoo-bar", "BenchmarkFoo-bar", 0},
+		{"Benchmark-Sub-16", "Benchmark-Sub", 16},
+	}
+	for _, tc := range cases {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}

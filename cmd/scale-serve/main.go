@@ -1,0 +1,109 @@
+// scale-serve runs the SCALE reproduction as a long-lived inference
+// service: a stdlib-only JSON API over HTTP backed by the session cache,
+// dynamic micro-batcher, and bounded admission queue of internal/serve.
+//
+// Endpoints:
+//
+//	POST /v1/simulate  {"model":"gcn","dataset":"cora"} → scale.Report
+//	POST /v1/infer     {"model":"gin","dims":[2,3],"num_vertices":3,
+//	                    "edges":[[0,1],[2,1]],"features":[[1,0],[0,1],[1,1]],
+//	                    "timeout_ms":500} → {"embeddings":[[...],...]}
+//	GET  /healthz      200 while serving, 503 while draining
+//	GET  /metrics      Prometheus text: request counters, latency
+//	                   histograms, batch/queue/session counters
+//
+// Status mapping: malformed input and unknown models/datasets are 400
+// (fault sentinels), per-request deadlines are 408, a full admission queue
+// is 429 with Retry-After, contained panics are 500 (the process survives),
+// and a draining server answers 503.
+//
+// Shutdown: the first SIGINT/SIGTERM stops admission and drains in-flight
+// requests (bounded by -drain-timeout); a second signal force-kills.
+//
+// Exit codes: 0 success/clean drain, 1 usage, 2 bad input, 3 runtime.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"scale"
+	"scale/internal/cli"
+	"scale/internal/serve"
+)
+
+func main() { cli.Main("scale-serve", run) }
+
+func run(ctx context.Context) error {
+	fs := flag.NewFlagSet("scale-serve", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		macs         = fs.Int("macs", 1024, "MAC budget: 512, 1024, 2048, 4096")
+		ring         = fs.Int("ring", 0, "forced ring size (0 = Eq. 3 per layer)")
+		batch        = fs.Int("batch", 0, "forced scheduling batch (0 = analytical model)")
+		policy       = fs.String("policy", "dvs", "scheduling: dvs, degree, vertex")
+		batchWindow  = fs.Duration("batch-window", 2*time.Millisecond, "micro-batch latency budget (how long a batch waits for late joiners)")
+		maxBatch     = fs.Int("max-batch", 16, "max infer requests coalesced into one forward call (1 disables batching)")
+		queueDepth   = fs.Int("queue", 64, "bounded admission queue depth (overflow answers 429)")
+		maxSessions  = fs.Int("sessions", 8, "session cache capacity (LRU eviction)")
+		maxVertices  = fs.Int("max-vertices", 1<<20, "per-request vertex cap")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget after SIGTERM")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return &cli.UsageError{Err: err}
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments %v", fs.Args())
+	}
+
+	sim, err := scale.New(scale.Options{MACs: *macs, RingSize: *ring, BatchSize: *batch, Scheduling: *policy})
+	if err != nil {
+		return err
+	}
+	srv := serve.New(serve.Config{
+		Sim:         sim,
+		BatchWindow: *batchWindow,
+		MaxBatch:    *maxBatch,
+		QueueDepth:  *queueDepth,
+		MaxSessions: *maxSessions,
+		MaxVertices: *maxVertices,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "scale-serve: listening on %s (window=%s max-batch=%d queue=%d sessions=%d)\n",
+		*addr, *batchWindow, *maxBatch, *queueDepth, *maxSessions)
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on its own for bind/accept failures.
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting (healthz flips to 503), let in-flight
+	// requests finish under the drain budget, then retire the batchers.
+	srv.BeginDrain()
+	fmt.Fprintf(os.Stderr, "scale-serve: draining (budget %s; send a second signal to force-quit)\n", *drainTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	err = httpSrv.Shutdown(shCtx)
+	srv.Close()
+	if err != nil {
+		return fmt.Errorf("scale-serve: drain incomplete: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "scale-serve: drained cleanly")
+	return nil
+}

@@ -1,6 +1,7 @@
 package scale_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -35,6 +36,32 @@ func ExampleSimulator_Infer() {
 	}
 	fmt.Println(len(out), len(out[0]))
 	// Output: 3 3
+}
+
+// Hold a Session to serve repeated inference requests: the model is built
+// once and reused, and independent graphs can be coalesced into one batched
+// forward call with bit-identical results.
+func ExampleSession() {
+	sim, err := scale.New(scale.Options{})
+	if err != nil {
+		panic(err)
+	}
+	sess, err := sim.NewSession("gin", []int{2, 3})
+	if err != nil {
+		panic(err)
+	}
+	// Two independent requests, answered by a single batched forward pass.
+	out, err := sess.InferBatch(context.Background(), []scale.InferRequest{
+		{NumVertices: 3, Edges: [][2]int{{0, 1}, {2, 1}},
+			Features: [][]float32{{1, 0}, {0, 1}, {1, 1}}},
+		{NumVertices: 2, Edges: [][2]int{{0, 1}},
+			Features: [][]float32{{1, 1}, {0, 1}}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sess.Model(), len(out), len(out[0]), len(out[1]), len(out[0][0]))
+	// Output: gin 2 3 2 3
 }
 
 // Compare SCALE against every baseline that supports the model.

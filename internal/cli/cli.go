@@ -64,11 +64,20 @@ func Code(err error) int {
 }
 
 // Main drives a tool: it runs `run` under a context cancelled by SIGINT or
-// SIGTERM (so a Ctrl-C'd sweep stops at the engine's cell boundaries and
-// deferred cleanup — checkpoint flushes, profile writes — still executes),
-// prints any error prefixed with the tool name, and exits with Code(err).
+// SIGTERM (so a Ctrl-C'd sweep stops at the engine's cell boundaries, a
+// serve drain finishes its in-flight requests, and deferred cleanup —
+// checkpoint flushes, profile writes — still executes), prints any error
+// prefixed with the tool name, and exits with Code(err).
+//
+// The first signal requests a graceful stop; once it lands, Main restores
+// the default signal disposition, so a second SIGINT/SIGTERM force-kills a
+// drain or checkpoint flush that is taking too long.
 func Main(name string, run func(ctx context.Context) error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	err := run(ctx)
 	stop()
 	if err != nil {

@@ -80,6 +80,19 @@ func Safely(fn func() error) (err error) {
 	return fn()
 }
 
+// AsPanic extracts a contained *PanicError from err's chain, reporting
+// whether one is present. Serving and sweep layers use it to separate
+// contained kernel panics (isolate the request, count the incident, answer
+// 500) from ordinary failures — note a panic(err) whose value wraps an input
+// sentinel still classifies as a panic, not as user input.
+func AsPanic(err error) (*PanicError, bool) {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}
+
 // CellError attaches the failing sweep cell to an error, so a failure deep
 // inside a fanned-out campaign reports which (accelerator, model, dataset)
 // combination produced it.

@@ -73,3 +73,21 @@ func TestIsInput(t *testing.T) {
 		t.Error("IsInput(nil) = true")
 	}
 }
+
+func TestAsPanic(t *testing.T) {
+	err := Safely(func() error { panic(fmt.Errorf("boom: %w", ErrBadShape)) })
+	pe, ok := AsPanic(err)
+	if !ok || pe == nil {
+		t.Fatalf("want contained panic, got %v", err)
+	}
+	if _, ok := AsPanic(fmt.Errorf("plain: %w", ErrBadGraph)); ok {
+		t.Error("plain sentinel error must not classify as a panic")
+	}
+	if _, ok := AsPanic(nil); ok {
+		t.Error("nil must not classify as a panic")
+	}
+	// Wrapped one level up (the batch layer adds request context).
+	if _, ok := AsPanic(fmt.Errorf("request 3: %w", err)); !ok {
+		t.Error("wrapped PanicError must still be found")
+	}
+}

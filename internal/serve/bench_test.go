@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// benchServe measures end-to-end /v1/infer throughput through the full
+// handler stack (admission queue → session cache → micro-batcher →
+// forward). The workload is a small graph, where per-call fixed costs
+// (scheduling, state checkout, layer prep) dominate — exactly the regime a
+// micro-batcher exists for.
+func benchServe(b *testing.B, cfg Config) {
+	cfg.Sim = testSim(b)
+	s := New(cfg)
+	defer s.Close()
+
+	req := testGraph(42, 32, 3, 8)
+	body, err := json.Marshal(inferBody{
+		Model: "gcn", Dims: []int{8, 16, 8}, NumVertices: req.NumVertices,
+		Edges: req.Edges, Features: req.Features,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the session and weights once so both variants measure steady
+	// state.
+	if rec := do(b, s, "POST", "/v1/infer", string(body)); rec.Code != 200 {
+		b.Fatalf("warmup: %d %s", rec.Code, rec.Body.String())
+	}
+
+	b.SetParallelism(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r := httptest.NewRequest("POST", "/v1/infer", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, r)
+			if rec.Code != 200 {
+				b.Errorf("code %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServeUnbatched is the one-request-at-a-time baseline: every
+// request pays the full per-forward fixed cost.
+func BenchmarkServeUnbatched(b *testing.B) {
+	benchServe(b, Config{MaxBatch: 1})
+}
+
+// BenchmarkServeBatched lets the micro-batcher coalesce the concurrent
+// clients; the recorded margin over BenchmarkServeUnbatched is the win
+// committed to BENCH_pr5.json.
+func BenchmarkServeBatched(b *testing.B) {
+	benchServe(b, Config{MaxBatch: 16, BatchWindow: time.Millisecond})
+}

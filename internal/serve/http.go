@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"scale"
+	"scale/internal/fault"
+)
+
+// errDraining marks work refused because the server is shutting down.
+var errDraining = errors.New("serve: draining")
+
+// inferBody is the POST /v1/infer request payload.
+type inferBody struct {
+	// Model and Dims select the session (see scale.Session).
+	Model string `json:"model"`
+	Dims  []int  `json:"dims"`
+	// NumVertices, Edges, Features describe the graph (see
+	// scale.InferRequest).
+	NumVertices int         `json:"num_vertices"`
+	Edges       [][2]int    `json:"edges"`
+	Features    [][]float32 `json:"features"`
+	// TimeoutMS is the per-request deadline; it maps to context
+	// cancellation through core.ForwardContext. 0 means no extra deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// inferResponse is the POST /v1/infer success payload.
+type inferResponse struct {
+	Model      string      `json:"model"`
+	Embeddings [][]float32 `json:"embeddings"`
+}
+
+// simulateBody is the POST /v1/simulate request payload.
+type simulateBody struct {
+	Model   string `json:"model"`
+	Dataset string `json:"dataset"`
+}
+
+// errorResponse is every non-2xx payload. Kind is a stable machine-readable
+// classification: usage, bad_input, timeout, over_capacity, draining, panic,
+// internal.
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// healthResponse is the GET /healthz payload.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Sessions      int     `json:"sessions"`
+	QueueInUse    int     `json:"queue_in_use"`
+	QueueDepth    int     `json:"queue_depth"`
+}
+
+// classify maps an error to its HTTP status and error kind, in precedence
+// order: contained panics are 500 even when the panic value wraps an input
+// sentinel, deadlines are 408, drain refusals 503, input sentinels 400.
+func classify(err error) (int, string) {
+	if err == nil {
+		return http.StatusOK, ""
+	}
+	if _, ok := fault.AsPanic(err); ok {
+		return http.StatusInternalServerError, "panic"
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout, "timeout"
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case fault.IsInput(err):
+		return http.StatusBadRequest, "bad_input"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, msg, kind string) {
+	writeJSON(w, code, errorResponse{Error: msg, Kind: kind})
+}
+
+// writeMapped renders err through classify, attaching Retry-After to
+// load-shedding answers.
+func (s *Server) writeMapped(w http.ResponseWriter, err error) {
+	code, kind := classify(err)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retrySeconds(s.cfg.RetryAfter))
+	}
+	writeError(w, code, err.Error(), kind)
+}
+
+func retrySeconds(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// statusRecorder captures the status code a handler sent, for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.wrote = true
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps an endpoint with latency/status accounting and a panic
+// barrier: a panic inside the handler itself (not just the backend) is
+// contained into a 500 — the serving process never dies for one request.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		err := fault.Safely(func() error {
+			h(rec, r)
+			return nil
+		})
+		if err != nil {
+			s.metrics.PanicsContained.Add(1)
+			if !rec.wrote {
+				rec.code = http.StatusInternalServerError
+				writeError(rec, http.StatusInternalServerError, err.Error(), "panic")
+			}
+		}
+		s.metrics.ObserveRequest(endpoint, rec.code, time.Since(start))
+	}
+}
+
+// handleInfer serves POST /v1/infer: admission queue → session cache →
+// micro-batcher → batched forward → per-request embeddings.
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required", "usage")
+		return
+	}
+	if !s.begin() {
+		s.writeMapped(w, errDraining)
+		return
+	}
+	defer s.end()
+	if !s.queue.tryAcquire() {
+		s.metrics.QueueRejections.Add(1)
+		w.Header().Set("Retry-After", retrySeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, "admission queue full", "over_capacity")
+		return
+	}
+	defer s.queue.release()
+
+	var body inferBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON body: "+err.Error(), "bad_input")
+		return
+	}
+	if body.NumVertices > s.cfg.MaxVertices {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("request has %d vertices, server caps at %d", body.NumVertices, s.cfg.MaxVertices),
+			"bad_input")
+		return
+	}
+
+	entry, err := s.session(body.Model, body.Dims)
+	if err != nil {
+		s.writeMapped(w, err)
+		return
+	}
+	req := scale.InferRequest{NumVertices: body.NumVertices, Edges: body.Edges, Features: body.Features}
+	// Validate before batching: a malformed request earns its 400 here and
+	// never poisons batch-mates.
+	if err := entry.sess.Validate(req); err != nil {
+		entry.refs.Done()
+		s.writeMapped(w, err)
+		return
+	}
+	ctx := r.Context()
+	cancel := func() {}
+	if body.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(body.TimeoutMS)*time.Millisecond)
+	}
+	defer cancel()
+
+	p := &pending{req: req, ctx: ctx, done: make(chan batchResult, 1)}
+	entry.b.submit(p)
+	entry.refs.Done()
+
+	select {
+	case res := <-p.done:
+		if res.err != nil {
+			s.writeMapped(w, res.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, inferResponse{Model: entry.sess.Model(), Embeddings: res.rows})
+	case <-ctx.Done():
+		s.writeMapped(w, ctx.Err())
+	}
+}
+
+// handleSimulate serves POST /v1/simulate: one timing-model run of (model,
+// dataset) on the shared simulator, reported as a scale.Report.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required", "usage")
+		return
+	}
+	if !s.begin() {
+		s.writeMapped(w, errDraining)
+		return
+	}
+	defer s.end()
+	if !s.queue.tryAcquire() {
+		s.metrics.QueueRejections.Add(1)
+		w.Header().Set("Retry-After", retrySeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, "admission queue full", "over_capacity")
+		return
+	}
+	defer s.queue.release()
+
+	var body simulateBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON body: "+err.Error(), "bad_input")
+		return
+	}
+	report, err := s.cfg.Sim.Simulate(body.Model, body.Dataset)
+	if err != nil {
+		s.writeMapped(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
+}
+
+// handleHealthz answers 200 while serving and 503 while draining, so load
+// balancers stop routing before shutdown completes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthResponse{
+		Status:        status,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Sessions:      s.LiveSessions(),
+		QueueInUse:    s.queue.inUse(),
+		QueueDepth:    s.queue.depth(),
+	})
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.Render(w, s.LiveSessions())
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning the
+// sub-millisecond cached-session hits through multi-second Reddit-scale
+// batched forwards.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram. Observations and rendering
+// are lock-free; the +Inf bucket lives at counts[len(bounds)].
+type histogram struct {
+	counts  []atomic.Int64
+	sumNs   atomic.Int64
+	samples atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, s)
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.samples.Add(1)
+}
+
+// Metrics holds the server's counters. All fields are safe for concurrent
+// use; Render emits them in Prometheus text exposition format with
+// deterministic ordering.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]*atomic.Int64 // "endpoint|code" → count
+	latency  map[string]*histogram    // endpoint → latency histogram
+
+	// Batches counts executed micro-batches; BatchedRequests counts the
+	// requests they carried (ratio = mean batch size).
+	Batches         atomic.Int64
+	BatchedRequests atomic.Int64
+	// QueueRejections counts 429s from the bounded admission queue.
+	QueueRejections atomic.Int64
+	// PanicsContained counts backend panics isolated into 500s.
+	PanicsContained atomic.Int64
+	// SessionsCreated and SessionsEvicted track the session cache.
+	SessionsCreated atomic.Int64
+	SessionsEvicted atomic.Int64
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[string]*atomic.Int64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+// ObserveRequest records one finished request: its endpoint, the HTTP status
+// sent, and the wall time spent serving it.
+func (m *Metrics) ObserveRequest(endpoint string, code int, d time.Duration) {
+	key := fmt.Sprintf("%s|%d", endpoint, code)
+	m.mu.Lock()
+	c, ok := m.requests[key]
+	if !ok {
+		c = new(atomic.Int64)
+		m.requests[key] = c
+	}
+	h, ok := m.latency[endpoint]
+	if !ok {
+		h = newHistogram()
+		m.latency[endpoint] = h
+	}
+	m.mu.Unlock()
+	c.Add(1)
+	h.observe(d)
+}
+
+// ObserveBatch records one executed micro-batch of n requests.
+func (m *Metrics) ObserveBatch(n int) {
+	m.Batches.Add(1)
+	m.BatchedRequests.Add(int64(n))
+}
+
+// RequestCount returns the number of requests finished with the given
+// endpoint and status code (test and ops introspection).
+func (m *Metrics) RequestCount(endpoint string, code int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.requests[fmt.Sprintf("%s|%d", endpoint, code)]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+// Render writes the metrics in Prometheus text exposition format.
+func (m *Metrics) Render(w io.Writer, liveSessions int) {
+	m.mu.Lock()
+	reqKeys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	latKeys := make([]string, 0, len(m.latency))
+	for k := range m.latency {
+		latKeys = append(latKeys, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(reqKeys)
+	sort.Strings(latKeys)
+
+	fmt.Fprintln(w, "# HELP scale_serve_requests_total Finished requests by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE scale_serve_requests_total counter")
+	for _, k := range reqKeys {
+		endpoint, code, _ := strings.Cut(k, "|")
+		m.mu.Lock()
+		v := m.requests[k].Load()
+		m.mu.Unlock()
+		fmt.Fprintf(w, "scale_serve_requests_total{endpoint=%q,code=%q} %d\n", endpoint, code, v)
+	}
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("scale_serve_batches_total", "Micro-batches executed.", m.Batches.Load())
+	counter("scale_serve_batch_requests_total", "Requests carried by micro-batches.", m.BatchedRequests.Load())
+	counter("scale_serve_queue_rejections_total", "Requests rejected by the admission queue (429).", m.QueueRejections.Load())
+	counter("scale_serve_panics_contained_total", "Backend panics isolated into 500 responses.", m.PanicsContained.Load())
+	counter("scale_serve_sessions_created_total", "Sessions constructed by the cache.", m.SessionsCreated.Load())
+	counter("scale_serve_sessions_evicted_total", "Sessions evicted by the cache.", m.SessionsEvicted.Load())
+	fmt.Fprintf(w, "# HELP scale_serve_sessions_live Sessions currently cached.\n# TYPE scale_serve_sessions_live gauge\nscale_serve_sessions_live %d\n", liveSessions)
+
+	fmt.Fprintln(w, "# HELP scale_serve_request_seconds Request latency by endpoint.")
+	fmt.Fprintln(w, "# TYPE scale_serve_request_seconds histogram")
+	for _, endpoint := range latKeys {
+		m.mu.Lock()
+		h := m.latency[endpoint]
+		m.mu.Unlock()
+		var cum int64
+		for i, bound := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "scale_serve_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", endpoint, bound, cum)
+		}
+		cum += h.counts[len(latencyBuckets)].Load()
+		fmt.Fprintf(w, "scale_serve_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", endpoint, cum)
+		fmt.Fprintf(w, "scale_serve_request_seconds_sum{endpoint=%q} %g\n", endpoint, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(w, "scale_serve_request_seconds_count{endpoint=%q} %d\n", endpoint, h.samples.Load())
+	}
+}

@@ -1,0 +1,37 @@
+package serve
+
+// queue is the bounded admission gate: a counting semaphore sized to the
+// server's concurrent-request budget. Admission is try-only — when every
+// slot is held the caller answers 429 with a Retry-After hint immediately
+// instead of queueing unboundedly, which is the backpressure contract: under
+// overload the server sheds load at the front door with a cheap, honest
+// signal rather than accumulating latency for everyone already inside.
+//
+// The depth bounds requests *admitted* (decoding, session lookup, waiting on
+// a micro-batch), not forward passes — the micro-batcher serializes those
+// per session — so depth trades memory for burst absorption.
+type queue struct {
+	slots chan struct{}
+}
+
+func newQueue(depth int) *queue {
+	return &queue{slots: make(chan struct{}, depth)}
+}
+
+// tryAcquire claims an admission slot without blocking.
+func (q *queue) tryAcquire() bool {
+	select {
+	case q.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (q *queue) release() { <-q.slots }
+
+// inUse reports the number of held slots (health introspection).
+func (q *queue) inUse() int { return len(q.slots) }
+
+// depth reports the queue capacity.
+func (q *queue) depth() int { return cap(q.slots) }

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scale"
+	"scale/internal/bench/faultinject"
+)
+
+// TestServeStress is the concurrency soak for the serving layer, run under
+// `make race`: many client goroutines across mixed sessions (with a cache
+// small enough to force eviction churn), a poisoned session whose backend
+// panics on every batch, and a mid-flight drain. The server must answer
+// every request with one of the contract's statuses, contain every panic,
+// and shut down without leaking a goroutine or dropping a handler.
+func TestServeStress(t *testing.T) {
+	const (
+		workers    = 12
+		perWorker  = 8
+		poisonEach = 5 // every 5th request goes to the poisoned session
+	)
+	plan := faultinject.Plan{0: {Kind: faultinject.Panic, Value: "stress panic"}}
+	poisonDims := []int{2, 2}
+	backend := func(ctx context.Context, sess *scale.Session, reqs []scale.InferRequest) ([][][]float32, error) {
+		if d := sess.Dims(); len(d) == 2 && d[1] == poisonDims[1] && sess.Model() == "gin" {
+			if err := plan.Wrap(func(int) error { return nil })(0); err != nil {
+				return nil, err
+			}
+		}
+		return sess.InferBatch(ctx, reqs)
+	}
+	s := New(Config{
+		Sim:         testSim(t),
+		MaxSessions: 2, // 4 live session keys → constant eviction churn
+		BatchWindow: 500 * time.Microsecond,
+		MaxBatch:    4,
+		QueueDepth:  workers,
+		Backend:     backend,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sessions := []inferBody{
+		{Model: "gcn", Dims: []int{3, 3}},
+		{Model: "gat", Dims: []int{3, 4}},
+		{Model: "gin", Dims: []int{3, 3}},
+		{Model: "gin", Dims: poisonDims}, // the poisoned one
+	}
+	var (
+		wg       sync.WaitGroup
+		codes    [6]atomic.Int64 // 200, 400, 408, 429, 500, 503
+		badCode  atomic.Int64
+		started  = make(chan struct{})
+		inFlight sync.WaitGroup
+	)
+	record := func(code int) {
+		switch code {
+		case 200:
+			codes[0].Add(1)
+		case 400:
+			codes[1].Add(1)
+		case 408:
+			codes[2].Add(1)
+		case 429:
+			codes[3].Add(1)
+		case 500:
+			codes[4].Add(1)
+		case 503:
+			codes[5].Add(1)
+		default:
+			badCode.Store(int64(code))
+		}
+	}
+	client := ts.Client()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		inFlight.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-started
+			for i := 0; i < perWorker; i++ {
+				var body inferBody
+				if (w*perWorker+i)%poisonEach == 0 {
+					body = sessions[3]
+				} else {
+					body = sessions[(w+i)%3]
+				}
+				req := testGraph(int64(w*100+i), 5+i, 1+i%2, body.Dims[0])
+				body.NumVertices = req.NumVertices
+				body.Edges = req.Edges
+				body.Features = req.Features
+				rec := do(t, s, "POST", "/v1/infer", body)
+				record(rec.Code)
+				if i == perWorker/2 {
+					inFlight.Done() // half-way marker: drain starts mid-flight
+				}
+			}
+		}(w)
+	}
+	close(started)
+	inFlight.Wait() // every worker is mid-stream
+	s.BeginDrain()
+	// Deterministic drain checks while workers are still firing: a real
+	// network request sees the 503 health flip, and a fresh API request is
+	// refused with the draining contract.
+	resp, err := client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain = %d", resp.StatusCode)
+	}
+	drained := do(t, s, "POST", "/v1/infer", validInfer())
+	if drained.Code != http.StatusServiceUnavailable {
+		t.Fatalf("infer during drain = %d", drained.Code)
+	}
+	wg.Wait()
+	s.Close()
+
+	if n := badCode.Load(); n != 0 {
+		t.Fatalf("response outside the status contract: %d", n)
+	}
+	if codes[0].Load() == 0 {
+		t.Fatal("no request succeeded before the drain")
+	}
+	if codes[4].Load() == 0 {
+		t.Fatal("poisoned session produced no contained 500s")
+	}
+	if got, contained := codes[4].Load(), s.Metrics().PanicsContained.Load(); contained == 0 || contained > got {
+		t.Fatalf("panics contained = %d for %d panic 500s", contained, got)
+	}
+	if live := s.LiveSessions(); live != 0 {
+		t.Fatalf("sessions alive after close: %d", live)
+	}
+}

@@ -23,11 +23,9 @@ import (
 	"scale/internal/bench"
 	"scale/internal/core"
 	"scale/internal/energy"
-	"scale/internal/fault"
 	"scale/internal/gnn"
 	"scale/internal/graph"
 	"scale/internal/sched"
-	"scale/internal/tensor"
 )
 
 // Options configures a Simulator. The zero value reproduces the paper's
@@ -223,41 +221,16 @@ func Compare(model, dataset string) (map[string]Report, error) {
 // explicit edge list using the SCALE dataflow (scheduled reduce chains and
 // per-vertex updates) and returns the final-layer vertex embeddings. Edges
 // are directed src→dst aggregation edges; features is row-major |V|×dims[0].
+//
+// Infer builds the model from scratch on every call. Callers issuing
+// repeated requests with the same (model, dims) should hold a Session
+// instead — same results, without the per-call construction cost.
 func (s *Simulator) Infer(model string, dims []int, numVertices int, edges [][2]int, features [][]float32) ([][]float32, error) {
-	if numVertices < 1 {
-		return nil, fmt.Errorf("scale: need at least one vertex, got %d: %w", numVertices, fault.ErrBadGraph)
-	}
-	b := graph.NewBuilder(numVertices)
-	for i, e := range edges {
-		if e[0] < 0 || e[0] >= numVertices || e[1] < 0 || e[1] >= numVertices {
-			return nil, fmt.Errorf("scale: edge %d (%d→%d) outside [0, %d): %w", i, e[0], e[1], numVertices, fault.ErrBadGraph)
-		}
-		b.AddEdge(e[0], e[1])
-	}
-	g := b.Build("user")
-	m, err := gnn.NewModel(model, dims, 1)
+	sess, err := s.NewSession(model, dims)
 	if err != nil {
 		return nil, err
 	}
-	if len(features) != numVertices {
-		return nil, fmt.Errorf("scale: %d feature rows for %d vertices: %w", len(features), numVertices, fault.ErrBadShape)
-	}
-	for v, row := range features {
-		if len(row) != dims[0] {
-			return nil, fmt.Errorf("scale: feature row %d has %d values, model wants %d: %w", v, len(row), dims[0], fault.ErrBadShape)
-		}
-	}
-	x := tensor.FromRows(features)
-	outs, err := s.accel.Forward(m, g, x)
-	if err != nil {
-		return nil, err
-	}
-	last := outs[len(outs)-1]
-	rows := make([][]float32, last.Rows)
-	for i := range rows {
-		rows[i] = append([]float32(nil), last.Row(i)...)
-	}
-	return rows, nil
+	return sess.Infer(numVertices, edges, features)
 }
 
 // Experiment regenerates one of the paper's tables or figures by id

@@ -1,0 +1,163 @@
+package scale
+
+import (
+	"context"
+	"fmt"
+
+	"scale/internal/fault"
+	"scale/internal/gnn"
+	"scale/internal/graph"
+	"scale/internal/tensor"
+)
+
+// Session pins one (model, dims) inference configuration to a Simulator: the
+// gnn.Model — weight matrices, fused kernels, per-layer seeds — is built once
+// at session creation and reused by every subsequent call, and the underlying
+// accelerator's pooled forward state (schedulers, worker scratch, seen
+// tables) warms up across calls. Simulator.Infer rebuilds all of this per
+// call; a Session amortizes it, which is what makes the serving layer
+// (internal/serve) viable under sustained traffic.
+//
+// A Session is safe for concurrent use: the model is immutable after
+// construction and all per-call state lives in the accelerator's sync.Pool.
+type Session struct {
+	sim   *Simulator
+	model *gnn.Model
+	name  string
+	dims  []int
+}
+
+// NewSession builds the model once and returns a reusable inference session.
+// The dims chain is copied; the session never aliases caller memory.
+func (s *Simulator) NewSession(model string, dims []int) (*Session, error) {
+	m, err := gnn.NewModel(model, dims, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		sim:   s,
+		model: m,
+		name:  model,
+		dims:  append([]int(nil), dims...),
+	}, nil
+}
+
+// Model returns the session's model name.
+func (sess *Session) Model() string { return sess.name }
+
+// Dims returns a copy of the session's feature-length chain.
+func (sess *Session) Dims() []int { return append([]int(nil), sess.dims...) }
+
+// InferRequest is one graph + feature matrix input to Session inference.
+// Edges are directed src→dst aggregation edges; Features is row-major
+// NumVertices×dims[0].
+type InferRequest struct {
+	NumVertices int
+	Edges       [][2]int
+	Features    [][]float32
+}
+
+// validate checks one request against the session's input dimension, wrapping
+// the fault sentinels exactly like Simulator.Infer always has.
+func (sess *Session) validate(r InferRequest) error {
+	if r.NumVertices < 1 {
+		return fmt.Errorf("scale: need at least one vertex, got %d: %w", r.NumVertices, fault.ErrBadGraph)
+	}
+	for i, e := range r.Edges {
+		if e[0] < 0 || e[0] >= r.NumVertices || e[1] < 0 || e[1] >= r.NumVertices {
+			return fmt.Errorf("scale: edge %d (%d→%d) outside [0, %d): %w", i, e[0], e[1], r.NumVertices, fault.ErrBadGraph)
+		}
+	}
+	if len(r.Features) != r.NumVertices {
+		return fmt.Errorf("scale: %d feature rows for %d vertices: %w", len(r.Features), r.NumVertices, fault.ErrBadShape)
+	}
+	for v, row := range r.Features {
+		if len(row) != sess.dims[0] {
+			return fmt.Errorf("scale: feature row %d has %d values, model wants %d: %w", v, len(row), sess.dims[0], fault.ErrBadShape)
+		}
+	}
+	return nil
+}
+
+// Validate reports whether req is a well-formed input for this session
+// (vertex ids in range, feature matrix matching the graph and the model's
+// input dimension). The serving layer calls it before admitting a request to
+// a batch, so one malformed request gets its 400 without poisoning
+// batch-mates.
+func (sess *Session) Validate(req InferRequest) error { return sess.validate(req) }
+
+// Infer runs functional inference over one graph. See Simulator.Infer, which
+// is now a thin wrapper over a throwaway Session.
+func (sess *Session) Infer(numVertices int, edges [][2]int, features [][]float32) ([][]float32, error) {
+	return sess.InferContext(context.Background(), InferRequest{NumVertices: numVertices, Edges: edges, Features: features})
+}
+
+// InferContext is Infer under a context: the deadline or cancellation maps
+// through core.ForwardContext and is honoured at every scheduling-batch
+// boundary.
+func (sess *Session) InferContext(ctx context.Context, req InferRequest) ([][]float32, error) {
+	out, err := sess.InferBatch(ctx, []InferRequest{req})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// InferBatch coalesces several independent graphs into one forward call: the
+// inputs are joined into a block-diagonal (disjoint-union) graph, their
+// feature matrices are stacked, and a single scheduled forward pass executes
+// them all. Results are split back per request.
+//
+// Because aggregation folds each vertex's in-edges in CSR mapping order and
+// the union preserves both per-vertex neighbor order and per-vertex degrees,
+// every output row is computed by exactly the same float operation sequence
+// as a standalone Infer call — batched results are bit-identical to serial
+// ones (pinned by TestInferBatchBitIdentical). This is the primitive the
+// serving layer's dynamic micro-batcher is built on.
+func (sess *Session) InferBatch(ctx context.Context, reqs []InferRequest) ([][][]float32, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	total := 0
+	for i, r := range reqs {
+		if err := sess.validate(r); err != nil {
+			if len(reqs) > 1 {
+				return nil, fmt.Errorf("scale: batch request %d: %w", i, err)
+			}
+			return nil, err
+		}
+		total += r.NumVertices
+	}
+
+	b := graph.NewBuilder(total)
+	x := tensor.NewMatrix(total, sess.dims[0])
+	offset := 0
+	for _, r := range reqs {
+		for _, e := range r.Edges {
+			b.AddEdge(offset+e[0], offset+e[1])
+		}
+		for v, row := range r.Features {
+			copy(x.Row(offset+v), row)
+		}
+		offset += r.NumVertices
+	}
+	g := b.Build("user")
+
+	outs, err := sess.sim.accel.ForwardContext(ctx, sess.model, g, x, 0)
+	if err != nil {
+		return nil, err
+	}
+	last := outs[len(outs)-1]
+
+	results := make([][][]float32, len(reqs))
+	offset = 0
+	for i, r := range reqs {
+		rows := make([][]float32, r.NumVertices)
+		for v := range rows {
+			rows[v] = append([]float32(nil), last.Row(offset+v)...)
+		}
+		results[i] = rows
+		offset += r.NumVertices
+	}
+	return results, nil
+}
