@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint race fuzz bench bench-serve bench-smoke serve-smoke verify
+.PHONY: build test lint conform race fuzz bench bench-serve bench-smoke serve-smoke verify
 
 # Tier 1: everything compiles and the full test suite passes.
 build:
@@ -20,7 +20,7 @@ test: build
 lint:
 	$(GO) vet ./...
 	@bad=$$(grep -rn --include='*.go' -e 'panic(' -e 'log\.Fatal' \
-	        internal/bench internal/dse internal/serve cmd \
+	        internal/bench internal/dse internal/serve internal/baseline cmd \
 	    | grep -v '_test\.go:' \
 	    | grep -v 'lint:allow-panic'); \
 	if [ -n "$$bad" ]; then \
@@ -30,6 +30,15 @@ lint:
 	@if grep -rln --include='*.go' 'bench/faultinject' internal/bench/*.go >/dev/null 2>&1; then \
 	    echo "lint: internal/bench must not import its fault-injection harness"; exit 1; \
 	fi
+
+# Backend conformance (DESIGN §4i): every accelerator — the SCALE core and
+# all six baseline backends — must pass the shared contract: exact
+# closed-form cycle agreement on degenerate graphs, utilization/cycle
+# sanity bounds, cycle monotonicity in edges and MAC budget, byte-identical
+# JSON under 8-way concurrency, and typed-error/panic-containment fault
+# behavior.
+conform:
+	$(GO) test ./internal/baseline/... -run 'TestConform|TestClosedForm|TestDegenerate|TestSystolic'
 
 # Tier 2: race detector over the concurrent sweep engine (and the packages
 # it drives), the parallel execution engine (tensor row fan-out, the
@@ -111,4 +120,4 @@ serve-smoke:
 	trap - EXIT; \
 	echo "serve-smoke: 24 infer + 1 simulate served, drained cleanly"
 
-verify: test lint race bench-smoke serve-smoke
+verify: test lint conform race bench-smoke serve-smoke

@@ -8,6 +8,11 @@
 //	scale-dse -model gcn -dataset pubmed
 //	scale-dse -model gin -dataset nell -area 30
 //	scale-dse -model gcn -dataset reddit -parallel 8
+//	scale-dse -model gcn -dataset pubmed -baseline systolic
+//
+// With -baseline, the named fixed-architecture backend (awb-gcn, gcnax,
+// regnn, flowgnn, i-gcn, systolic) is evaluated at each of the standard MAC
+// budgets and printed as a reference line against the Pareto front.
 //
 // Exit codes: 0 success, 1 usage, 2 bad input, 3 runtime failure. SIGINT
 // and SIGTERM cancel the exploration at design-point boundaries.
@@ -21,6 +26,7 @@ import (
 	"runtime"
 	"time"
 
+	"scale/internal/baseline"
 	"scale/internal/cli"
 	"scale/internal/dse"
 	"scale/internal/gnn"
@@ -36,6 +42,7 @@ func run(ctx context.Context) error {
 		dataset  = fs.String("dataset", "cora", "dataset")
 		budget   = fs.Float64("area", 0, "area budget in mm² (0 = no budget pick)")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the exploration (1 = serial)")
+		ref      = fs.String("baseline", "", "baseline backend to print as a reference (awb-gcn, gcnax, regnn, flowgnn, i-gcn, systolic)")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		if err == flag.ErrHelp {
@@ -80,6 +87,25 @@ func run(ctx context.Context) error {
 			return err
 		}
 		fmt.Printf("\nfastest under %.1f mm²:\n  %v\n", *budget, best)
+	}
+
+	if *ref != "" {
+		fmt.Printf("\n%s reference (fixed architecture):\n", *ref)
+		for _, macs := range []int{512, 1024, 2048, 4096} {
+			b, err := baseline.ByName(*ref, macs)
+			if err != nil {
+				return err
+			}
+			if !b.Supports(m) {
+				return fmt.Errorf("dse: %s does not support model %s", b.Name(), m.Name())
+			}
+			r, err := b.Run(m, d.Profile())
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-8s macs=%-5d %12d cycles  util agg=%5.1f%% upd=%5.1f%%\n",
+				b.Name(), macs, r.Cycles, 100*r.AggUtil, 100*r.UpdateUtil)
+		}
 	}
 	return nil
 }

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	scale-sim -model gcn -dataset cora
+//	scale-sim -model gcn -dataset cora -accel systolic
 //	scale-sim -model gin -dataset pubmed -macs 2048 -ring 32 -compare
 //	scale-sim -model gcn -edgelist g.txt -features x.txt -dims 8,16,4
 //
@@ -39,6 +40,7 @@ func run(_ context.Context) error {
 	var (
 		model    = fs.String("model", "gcn", "GNN model: gcn, ggcn, gs-pl, gin, gat")
 		dataset  = fs.String("dataset", "cora", "dataset: cora, citeseer, pubmed, nell, reddit")
+		accel    = fs.String("accel", "scale", "accelerator: scale, awb-gcn, gcnax, regnn, flowgnn, i-gcn, systolic")
 		macs     = fs.Int("macs", 1024, "MAC budget: 512, 1024, 2048, 4096")
 		ring     = fs.Int("ring", 0, "forced ring size (0 = Eq. 3 per layer)")
 		batch    = fs.Int("batch", 0, "forced batch size (0 = analytical model)")
@@ -76,12 +78,21 @@ func run(_ context.Context) error {
 	if err != nil {
 		return err
 	}
-	report, traces, err := sim.SimulateTraced(*model, *dataset)
+	onSCALE := *accel == "" || strings.EqualFold(*accel, "scale")
+	var report scale.Report
+	var traces []scale.LayerTraceInfo
+	if onSCALE {
+		report, traces, err = sim.SimulateTraced(*model, *dataset)
+	} else {
+		// Ring/batch traces are a SCALE dataflow concept; other backends
+		// report cycles and breakdown only.
+		report, err = sim.SimulateOn(*accel, *model, *dataset)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Println(report)
-	if *trace {
+	if *trace && onSCALE {
 		for _, lt := range traces {
 			fmt.Printf("  layer %d: ring=%d rings=%d batch=%d batches=%d evenness=%.2f\n",
 				lt.Layer, lt.RingSize, lt.NumRings, lt.BatchSize, lt.NumBatches, lt.BatchEvenness)

@@ -76,12 +76,12 @@ func ExampleCompare() {
 	}
 	sort.Strings(names)
 	fmt.Println(names)
-	// Output: [AWB-GCN FlowGNN GCNAX ReGNN SCALE]
+	// Output: [AWB-GCN FlowGNN GCNAX ReGNN SCALE Systolic]
 }
 
 // List the regenerable experiments.
 func ExampleExperimentIDs() {
 	ids := scale.ExperimentIDs()
 	fmt.Println(len(ids), ids[0], ids[4])
-	// Output: 21 table1 fig10
+	// Output: 22 table1 fig10
 }

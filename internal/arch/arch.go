@@ -9,6 +9,7 @@ package arch
 import (
 	"fmt"
 
+	"scale/internal/fault"
 	"scale/internal/gnn"
 	"scale/internal/graph"
 	"scale/internal/mem"
@@ -134,16 +135,20 @@ func Speedup(base, x *Result) float64 {
 	return float64(base.Cycles) / float64(x.Cycles)
 }
 
-// CheckRunnable validates common Run preconditions.
+// CheckRunnable validates common Run preconditions. Failures wrap the fault
+// sentinels (the backend conformance contract requires typed input errors,
+// never panics, from every accelerator's public Run edge): an empty model is
+// a shape error, an empty profile a graph error, an unsupported model a
+// configuration error.
 func CheckRunnable(a Accelerator, m *gnn.Model, p *graph.Profile) error {
 	if m == nil || len(m.Layers) == 0 {
-		return fmt.Errorf("arch: %s: empty model", a.Name())
+		return fmt.Errorf("arch: %s: empty model: %w", a.Name(), fault.ErrBadShape)
 	}
 	if p == nil || p.NumVertices() == 0 {
-		return fmt.Errorf("arch: %s: empty graph profile", a.Name())
+		return fmt.Errorf("arch: %s: empty graph profile: %w", a.Name(), fault.ErrBadGraph)
 	}
 	if !a.Supports(m) {
-		return fmt.Errorf("arch: %s does not support model %s", a.Name(), m.Name())
+		return fmt.Errorf("arch: %s does not support model %s: %w", a.Name(), m.Name(), fault.ErrBadConfig)
 	}
 	return nil
 }

@@ -2,10 +2,25 @@ package baseline
 
 import (
 	"fmt"
+	"strings"
 
+	"scale/internal/arch"
+	"scale/internal/fault"
 	"scale/internal/mem"
 	"scale/internal/noc"
 )
+
+// Backend is the package-level contract of a baseline accelerator: the
+// arch.Accelerator timing model plus the memory-system override the
+// scalability study needs. Both implementations (*Baseline and *Systolic)
+// satisfy it; consumers that must reach implementation-specific knobs
+// (ReGNN's RedundancyRate, I-GCN's LocalityRate) type-assert to *Baseline.
+type Backend interface {
+	arch.Accelerator
+	// WithMemory overrides the memory system (the §VII-B scalability study
+	// provisions bandwidth proportionally to compute).
+	WithMemory(gb mem.GlobalBuffer, hbm mem.HBM) Backend
+}
 
 // newBaseline wires a spec to the shared §VI memory system.
 func newBaseline(s spec, macs int) *Baseline {
@@ -121,19 +136,22 @@ func NewIGCN(macs int) *Baseline {
 	}, macs)
 }
 
-// All returns the four baselines at the given MAC budget, in the paper's
-// presentation order.
-func All(macs int) []*Baseline {
-	return []*Baseline{NewAWBGCN(macs), NewGCNAX(macs), NewReGNN(macs), NewFlowGNN(macs)}
+// All returns the comparison backends at the given MAC budget: the paper's
+// four baselines in presentation order, then the systolic-array backend.
+// (Figure generators iterate the fixed accelOrder in bench, so appending
+// here widens the comparison without perturbing the paper figures.)
+func All(macs int) []Backend {
+	return []Backend{NewAWBGCN(macs), NewGCNAX(macs), NewReGNN(macs), NewFlowGNN(macs), NewSystolic(macs)}
 }
 
-// ByName returns the named baseline, including I-GCN (which is outside the
-// Fig. 10 set All returns).
-func ByName(name string, macs int) (*Baseline, error) {
+// ByName returns the named backend, case-insensitively, including I-GCN
+// (which is outside the Fig. 10 set All returns). "systolic" therefore
+// resolves the same backend the CLIs expose via -accel.
+func ByName(name string, macs int) (Backend, error) {
 	for _, b := range append(All(macs), NewIGCN(macs)) {
-		if b.Name() == name {
+		if strings.EqualFold(b.Name(), name) {
 			return b, nil
 		}
 	}
-	return nil, fmt.Errorf("baseline: unknown accelerator %q", name)
+	return nil, fmt.Errorf("baseline: unknown accelerator %q: %w", name, fault.ErrBadConfig)
 }

@@ -285,9 +285,9 @@ func minI64(a, b int64) int64 {
 	return b
 }
 
-// WithMemory overrides the memory system (the §VII-B scalability study
-// provisions bandwidth proportionally to compute).
-func (b *Baseline) WithMemory(gb mem.GlobalBuffer, hbm mem.HBM) *Baseline {
+// WithMemory implements Backend (the §VII-B scalability study provisions
+// bandwidth proportionally to compute).
+func (b *Baseline) WithMemory(gb mem.GlobalBuffer, hbm mem.HBM) Backend {
 	b.gb = gb
 	b.hbm = hbm
 	return b

@@ -1,0 +1,220 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"scale/internal/arch"
+	"scale/internal/baseline/conform"
+	"scale/internal/gnn"
+	"scale/internal/graph"
+	"scale/internal/noc"
+)
+
+// This file pins every backend's cycle model to hand-derived closed forms
+// on the conformance contract's degenerate graphs. The reference functions
+// below are independent straight-line derivations of the documented
+// formulas (DESIGN.md §1, §4i) — no shared helpers with the production
+// code — so any off-by-one introduced into either side breaks the exact
+// equality the conform harness asserts.
+//
+// The closed forms rely on a property of the degenerate graphs: with
+// V ≤ nUnits = MACs/2, the vertex-aware partition puts each vertex in its
+// own task/group, so the raw balances collapse to
+//
+//	edgeBalance   = (E/nUnits)/maxDeg   (1 when E = 0)
+//	vertexBalance = V/nUnits
+//
+// which TestDegenerateBalanceClosedForm verifies against the scheduler.
+
+// refBaselineCycles is the independent reference for *Baseline's model on a
+// degenerate graph (everything on-chip, single weight pass, zero
+// redundancy/locality rates — all true for the conform cases).
+func refBaselineCycles(b *Baseline, m *gnn.Model, p *graph.Profile) int64 {
+	v := int64(p.NumVertices())
+	e := p.NumEdges()
+	nUnits := b.macs / 2
+
+	rawEdge := 1.0
+	if e > 0 {
+		rawEdge = float64(e) / float64(nUnits) / float64(p.MaxDegree())
+	}
+	rawVertex := float64(v) / float64(nUnits)
+	const queueSmoothing = 0.55
+	aggBal := queueSmoothing + (1-queueSmoothing)*rawEdge
+	updBal := queueSmoothing + (1-queueSmoothing)*rawVertex
+	if b.spec.rebalance > 0 {
+		aggBal = 1 - (1-aggBal)*(1-b.spec.rebalance)
+		updBal = 1 - (1-updBal)*(1-b.spec.rebalance)
+	}
+	scaleEff := 1.0
+	if b.macs > 512 && b.spec.scalingAlpha > 0 {
+		scaleEff = math.Pow(512/float64(b.macs), b.spec.scalingAlpha)
+	}
+	aggBal *= scaleEff
+	updBal *= scaleEff
+
+	hops := noc.New(b.spec.network, nUnits).Hops()
+	channels := 16 * math.Sqrt(float64(b.macs))
+
+	var total int64
+	for li, layer := range m.Layers {
+		w := layer.Work()
+		aggOps := e * (w.GateOpsPerEdge + w.ReduceOpsPerEdge)
+		updOps := v*w.UpdateMACsPerVertex + v*(w.PreMACsPerVertex+w.DstMACsPerVertex)
+
+		aggUnits := float64(b.macs)
+		updUnits := float64(b.macs)
+		if b.spec.aggFrac > 0 {
+			aggUnits = float64(b.macs) * b.spec.aggFrac
+			updUnits = float64(b.macs) * (1 - b.spec.aggFrac)
+		}
+		tAgg := int64(float64(aggOps) / (aggUnits * aggBal))
+		tUpd := int64(float64(updOps) / (updUnits * updBal))
+		compute := tAgg + tUpd
+		if b.spec.pipelined {
+			if tAgg > tUpd {
+				compute = tAgg
+			} else {
+				compute = tUpd
+			}
+		}
+		compute += int64(b.spec.rebalanceOverhead * float64(tAgg))
+
+		values := v * int64(w.MsgDim)
+		if b.spec.commPerEdge {
+			values = e + v*int64(w.MsgDim)
+		}
+		exposed := int64(float64(int64(float64(values)*float64(hops)/channels)) * (1 - b.spec.commOverlap))
+
+		dram := w.WeightBytes
+		if li == 0 {
+			dram += v * int64(w.InDim) * 4
+		}
+		memStall := b.hbm.StreamCycles(dram) - int64(b.spec.memOverlap*float64(compute))
+		if memStall < 0 {
+			memStall = 0
+		}
+		total += compute + exposed + memStall
+	}
+	return total
+}
+
+// refSystolicCycles is the independent reference for *Systolic on a
+// degenerate graph (everything on-chip, so DRAM carries weights plus the
+// first layer's input features only).
+func refSystolicCycles(s *Systolic, m *gnn.Model, p *graph.Profile) int64 {
+	v := int64(p.NumVertices())
+	e := p.NumEdges()
+	r, c := int64(s.rows), int64(s.cols)
+	gemm := func(mm, k, n int64) int64 {
+		tiles := ((mm + r - 1) / r) * ((n + c - 1) / c)
+		return tiles * (k + r + c - 2)
+	}
+	var total int64
+	for li, layer := range m.Layers {
+		w := layer.Work()
+		msgDim := int64(w.MsgDim)
+		if msgDim < 1 {
+			msgDim = 1
+		}
+		inDim := int64(w.InDim)
+		aggOps := e * (w.GateOpsPerEdge + w.ReduceOpsPerEdge)
+		tAgg := s.gb.ReadCycles(4 * e * msgDim)
+		if lanes := (aggOps + c - 1) / c; lanes > tAgg {
+			tAgg = lanes
+		}
+		var tUpd int64
+		if pre := w.PreMACsPerVertex + w.DstMACsPerVertex; pre > 0 {
+			tUpd += gemm(v, inDim, (pre+inDim-1)/inDim)
+		}
+		if w.UpdateMACsPerVertex > 0 {
+			tUpd += gemm(v, msgDim, (w.UpdateMACsPerVertex+msgDim-1)/msgDim)
+		}
+		compute := tAgg + tUpd
+
+		dram := w.WeightBytes
+		if li == 0 {
+			dram += v * inDim * 4
+		}
+		memStall := s.hbm.StreamCycles(dram) - compute
+		if memStall < 0 {
+			memStall = 0
+		}
+		if dram > 0 && memStall < s.hbm.BurstLatency {
+			memStall = s.hbm.BurstLatency
+		}
+		total += compute + memStall
+	}
+	return total
+}
+
+// TestDegenerateBalanceClosedForm verifies the analytical balance formulas
+// the references assume, directly against the scheduler-backed partition.
+func TestDegenerateBalanceClosedForm(t *testing.T) {
+	const nUnits = 512
+	for _, cs := range conform.Cases() {
+		p := cs.Profile
+		got, err := vertexChunkBalance(p, nUnits)
+		if err != nil {
+			t.Fatalf("%s: %v", cs.Name, err)
+		}
+		wantEdge := 1.0
+		if p.NumEdges() > 0 {
+			wantEdge = float64(p.NumEdges()) / nUnits / float64(p.MaxDegree())
+		}
+		wantVertex := float64(p.NumVertices()) / nUnits
+		if math.Abs(got.edge-wantEdge) > 1e-12 || math.Abs(got.vertex-wantVertex) > 1e-12 {
+			t.Errorf("%s: balance (%g, %g), closed form (%g, %g)",
+				cs.Name, got.edge, got.vertex, wantEdge, wantVertex)
+		}
+	}
+}
+
+// TestClosedFormCycles drives all six backends through the conform harness
+// with exact cycle expectations on every degenerate graph, for both an
+// SpMM-representable model (gcn) and a message-passing one (gs-pl).
+func TestClosedFormCycles(t *testing.T) {
+	const macs = 1024
+	models := []string{"gcn", "gs-pl"}
+	for _, name := range []string{"AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "I-GCN", "Systolic"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ref, err := ByName(name, macs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forms := map[string]int64{}
+			for _, model := range models {
+				m := gnn.MustModel(model, conform.Dims, 1)
+				if !ref.Supports(m) {
+					continue
+				}
+				for _, cs := range conform.Cases() {
+					var want int64
+					switch b := ref.(type) {
+					case *Baseline:
+						want = refBaselineCycles(b, m, cs.Profile)
+					case *Systolic:
+						want = refSystolicCycles(b, m, cs.Profile)
+					default:
+						t.Fatalf("unknown backend type %T", ref)
+					}
+					forms[conform.ClosedFormKey(model, cs.Name, macs)] = want
+				}
+			}
+			if len(forms) == 0 {
+				t.Fatal("no closed forms computed")
+			}
+			vs := conform.Check(conform.Config{
+				New:         func(macs int) (arch.Accelerator, error) { return ByName(name, macs) },
+				MACs:        []int{macs},
+				Models:      models,
+				ClosedForms: forms,
+			})
+			for _, v := range vs {
+				t.Error(v)
+			}
+		})
+	}
+}

@@ -1,0 +1,494 @@
+// Package conform is the reusable backend conformance harness: the
+// executable definition of what a valid arch.Accelerator timing model is.
+// Every backend in internal/baseline — and the SCALE core itself — must
+// pass it; adding the next backend (or the next paper) to the comparison
+// means passing this contract, not convincing a reviewer.
+//
+// The contract has five parts (DESIGN.md §4i):
+//
+//  1. Closed forms — on degenerate graphs (single vertex, empty edge set,
+//     star, clique, path) the backend's cycle count must equal a
+//     hand-computed closed form, exactly. Callers supply the expectations
+//     (they are backend-specific arithmetic); the harness pins them.
+//  2. Sanity bounds — utilizations in [0,1], positive cycle counts,
+//     non-negative traffic, and cycles ≥ the ideal-MAC lower bound
+//     totalOps/(2·MACs) (no model may beat perfect dual-phase pipelining
+//     over its full MAC budget).
+//  3. Monotonicity — more edges on a fixed vertex set never get cheaper,
+//     and a larger MAC budget never gets slower on a bulk workload.
+//  4. Determinism — concurrent Runs of one shared instance produce
+//     byte-identical JSON: the suite exports must not depend on worker
+//     count (the 1-vs-8-workers contract of the bench engine).
+//  5. Fault contract — malformed inputs earn typed input errors (never
+//     panics), and an injected panic (via internal/bench/faultinject) is
+//     containable by fault.Safely into a *fault.PanicError.
+//
+// Check is pure — it returns violations instead of calling testing.T — so
+// the same harness drives unit tests, the fuzz target, and `make conform`.
+package conform
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"scale/internal/arch"
+	"scale/internal/bench/faultinject"
+	"scale/internal/fault"
+	"scale/internal/gnn"
+	"scale/internal/graph"
+)
+
+// Dims is the feature-length chain conformance workloads use: two layers,
+// wide enough that GEMM tiling and gather bandwidth are both exercised.
+var Dims = []int{64, 32, 16}
+
+// monoDims is the chain the monotone-macs check uses: every feature length
+// is at least as wide as the widest array dimension in the default budget
+// sweep (64 at 4096 MACs), so the check measures resource scaling rather
+// than feature-width starvation — an array wider than the feature vector
+// legitimately wastes columns, which is not a monotonicity defect.
+var monoDims = []int{128, 64, 32}
+
+// Case is one named degenerate graph of the contract.
+type Case struct {
+	Name    string
+	Profile *graph.Profile
+}
+
+// SingleVertex is one vertex, no edges: the smallest runnable input.
+func SingleVertex() *graph.Profile { return graph.NewProfile("single", []int32{0}) }
+
+// Isolated is n vertices with an empty edge set: update-only work.
+func Isolated(n int) *graph.Profile {
+	return graph.NewProfile(fmt.Sprintf("isolated%d", n), make([]int32, n))
+}
+
+// Star is an n-vertex star: one hub aggregating n-1 in-edges, the maximal
+// single-vertex imbalance.
+func Star(n int) *graph.Profile {
+	deg := make([]int32, n)
+	deg[0] = int32(n - 1)
+	return graph.NewProfile(fmt.Sprintf("star%d", n), deg)
+}
+
+// Clique is K_n: every vertex aggregates n-1 in-edges, perfectly balanced.
+func Clique(n int) *graph.Profile {
+	deg := make([]int32, n)
+	for i := range deg {
+		deg[i] = int32(n - 1)
+	}
+	return graph.NewProfile(fmt.Sprintf("k%d", n), deg)
+}
+
+// Path is a directed path 0→1→…→n-1: every vertex but the head has one
+// in-edge.
+func Path(n int) *graph.Profile {
+	deg := make([]int32, n)
+	for i := 1; i < n; i++ {
+		deg[i] = 1
+	}
+	return graph.NewProfile(fmt.Sprintf("path%d", n), deg)
+}
+
+// Uniform is v vertices of in-degree d: the bulk workload the monotonicity
+// checks sweep.
+func Uniform(v, d int) *graph.Profile {
+	deg := make([]int32, v)
+	for i := range deg {
+		deg[i] = int32(d)
+	}
+	return graph.NewProfile(fmt.Sprintf("uniform%dx%d", v, d), deg)
+}
+
+// Cases returns the contract's degenerate graphs.
+func Cases() []Case {
+	return []Case{
+		{"single", SingleVertex()},
+		{"isolated16", Isolated(16)},
+		{"star16", Star(16)},
+		{"k8", Clique(8)},
+		{"path16", Path(16)},
+	}
+}
+
+// Config describes one backend under test.
+type Config struct {
+	// New builds a fresh backend instance at a MAC budget. Instances must
+	// be independent: the harness builds several and also shares single
+	// instances across goroutines.
+	New func(macs int) (arch.Accelerator, error)
+	// NewScaled optionally builds an instance with memory bandwidth
+	// provisioned proportionally to the MAC budget — the §VII-B
+	// system-scaling assumption. The monotone-macs check uses it when set
+	// (a bigger array starved by a fixed memory system may legitimately
+	// lose cycles to exposed stalls); every other check uses New.
+	NewScaled func(macs int) (arch.Accelerator, error)
+	// MACs are the budgets to exercise. Default: 512, 1024, 2048, 4096.
+	MACs []int
+	// Models are the gnn model names to run (only those the backend
+	// Supports are exercised). Default: every model.
+	Models []string
+	// ClosedForms pins exact cycle counts, keyed ClosedFormKey(model,
+	// case, macs). Unlisted combinations are not closed-form-checked.
+	ClosedForms map[string]int64
+	// Workers is the concurrency of the determinism check. Default 8.
+	Workers int
+}
+
+// ClosedFormKey builds a ClosedForms key.
+func ClosedFormKey(model, caseName string, macs int) string {
+	return fmt.Sprintf("%s/%s/%d", model, caseName, macs)
+}
+
+// Violation is one failed conformance check.
+type Violation struct {
+	Backend string // accelerator name
+	Check   string // closed-form | sanity | monotone-edges | monotone-macs | determinism | fault
+	Case    string // the offending workload or call
+	Detail  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s [%s]: %s", v.Backend, v.Check, v.Case, v.Detail)
+}
+
+// Check runs the full conformance contract against cfg's backend and
+// returns every violation found (empty means the backend conforms).
+func Check(cfg Config) []Violation {
+	if len(cfg.MACs) == 0 {
+		cfg.MACs = []int{512, 1024, 2048, 4096}
+	}
+	if len(cfg.Models) == 0 {
+		cfg.Models = gnn.AllModelNames()
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 8
+	}
+	c := &checker{cfg: cfg}
+	c.closedFormsAndSanity()
+	c.monotoneEdges()
+	c.monotoneMACs()
+	c.determinism()
+	c.faultContract()
+	return c.violations
+}
+
+type checker struct {
+	cfg        Config
+	violations []Violation
+	nameOnce   string
+}
+
+func (c *checker) fail(check, caseName, format string, args ...any) {
+	c.violations = append(c.violations, Violation{
+		Backend: c.nameOnce, Check: check, Case: caseName,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// build constructs a backend instance, recording construction failures.
+func (c *checker) build(macs int) arch.Accelerator {
+	a, err := c.cfg.New(macs)
+	if err != nil || a == nil {
+		c.fail("sanity", fmt.Sprintf("new/%d", macs), "construction failed: %v", err)
+		return nil
+	}
+	if c.nameOnce == "" {
+		c.nameOnce = a.Name()
+	}
+	return a
+}
+
+// run executes one cell with panic containment; a panic is itself a
+// violation (the contract bans panics on any input the harness feeds).
+func (c *checker) run(a arch.Accelerator, check, caseName string, m *gnn.Model, p *graph.Profile) *arch.Result {
+	var r *arch.Result
+	err := fault.Safely(func() error {
+		var rerr error
+		r, rerr = a.Run(m, p)
+		return rerr
+	})
+	if err != nil {
+		if _, ok := fault.AsPanic(err); ok {
+			c.fail(check, caseName, "Run panicked: %v", err)
+		} else {
+			c.fail(check, caseName, "Run failed: %v", err)
+		}
+		return nil
+	}
+	return r
+}
+
+func (c *checker) closedFormsAndSanity() {
+	for _, macs := range c.cfg.MACs {
+		a := c.build(macs)
+		if a == nil {
+			continue
+		}
+		if a.MACs() <= 0 {
+			c.fail("sanity", fmt.Sprintf("new/%d", macs), "MACs() = %d", a.MACs())
+			continue
+		}
+		for _, model := range c.cfg.Models {
+			m := gnn.MustModel(model, Dims, 1)
+			if !a.Supports(m) {
+				continue
+			}
+			for _, cs := range Cases() {
+				id := fmt.Sprintf("%s/%s/%d", model, cs.Name, macs)
+				r := c.run(a, "sanity", id, m, cs.Profile)
+				if r == nil {
+					continue
+				}
+				c.sanity(id, a, m, cs.Profile, r)
+				if want, ok := c.cfg.ClosedForms[ClosedFormKey(model, cs.Name, macs)]; ok {
+					if r.Cycles != want {
+						c.fail("closed-form", id, "cycles = %d, closed form = %d", r.Cycles, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) sanity(id string, a arch.Accelerator, m *gnn.Model, p *graph.Profile, r *arch.Result) {
+	if r.Cycles <= 0 {
+		c.fail("sanity", id, "cycles = %d, want > 0", r.Cycles)
+	}
+	for _, u := range []struct {
+		name string
+		v    float64
+	}{{"agg", r.AggUtil}, {"update", r.UpdateUtil}} {
+		if u.v < 0 || u.v > 1 {
+			c.fail("sanity", id, "%s utilization %f outside [0,1]", u.name, u.v)
+		}
+	}
+	var total int64
+	for _, l := range m.Layers {
+		total += l.Work().TotalOps(p)
+	}
+	// Ideal-MAC lower bound: even perfect dual-phase pipelining cannot
+	// exceed 2·MACs scalar ops per cycle.
+	if lb := total / int64(2*a.MACs()); r.Cycles < lb {
+		c.fail("sanity", id, "cycles %d below ideal-MAC lower bound %d (totalOps %d, MACs %d)",
+			r.Cycles, lb, total, a.MACs())
+	}
+	for _, tr := range []struct {
+		name string
+		v    int64
+	}{
+		{"dram-read", r.Traffic.DRAMReadBytes}, {"dram-write", r.Traffic.DRAMWriteBytes},
+		{"gb-read", r.Traffic.GBReadBytes}, {"gb-write", r.Traffic.GBWriteBytes},
+		{"local-read", r.Traffic.LocalReadBytes}, {"local-write", r.Traffic.LocalWriteBytes},
+		{"macs", r.Traffic.MACs},
+	} {
+		if tr.v < 0 {
+			c.fail("sanity", id, "negative %s traffic %d", tr.name, tr.v)
+		}
+	}
+	var sum int64
+	for _, lr := range r.Layers {
+		sum += lr.Cycles
+	}
+	if sum != r.Cycles {
+		c.fail("sanity", id, "layer cycles sum %d != total %d", sum, r.Cycles)
+	}
+}
+
+// monotoneEdges: on a fixed 64-vertex set, raising every in-degree must
+// never lower the cycle count (more aggregation work is never free).
+func (c *checker) monotoneEdges() {
+	a := c.build(1024)
+	if a == nil {
+		return
+	}
+	for _, model := range c.cfg.Models {
+		m := gnn.MustModel(model, Dims, 1)
+		if !a.Supports(m) {
+			continue
+		}
+		prev := int64(-1)
+		prevDeg := 0
+		for _, d := range []int{0, 2, 4, 8, 16} {
+			p := Uniform(64, d)
+			id := fmt.Sprintf("%s/%s", model, p.Name)
+			r := c.run(a, "monotone-edges", id, m, p)
+			if r == nil {
+				return
+			}
+			if prev >= 0 && r.Cycles < prev {
+				c.fail("monotone-edges", id,
+					"cycles fell from %d (deg %d) to %d (deg %d)", prev, prevDeg, r.Cycles, d)
+			}
+			prev, prevDeg = r.Cycles, d
+		}
+	}
+}
+
+// monotoneMACs: on a bulk workload (4096 vertices, degree 8), a larger MAC
+// budget must never be slower. The workload is large so pipeline fill/drain
+// and scheduling overheads amortize; the bound is exact, no slack. Memory
+// bandwidth follows the budget when cfg.NewScaled is set (§VII-B scaling).
+func (c *checker) monotoneMACs() {
+	if len(c.cfg.MACs) < 2 {
+		return
+	}
+	build := c.build
+	if c.cfg.NewScaled != nil {
+		build = func(macs int) arch.Accelerator {
+			a, err := c.cfg.NewScaled(macs)
+			if err != nil || a == nil {
+				c.fail("monotone-macs", fmt.Sprintf("new-scaled/%d", macs), "construction failed: %v", err)
+				return nil
+			}
+			return a
+		}
+	}
+	p := Uniform(4096, 8)
+	for _, model := range c.cfg.Models {
+		var m *gnn.Model
+		prev := int64(-1)
+		prevMACs := 0
+		for _, macs := range c.cfg.MACs {
+			a := build(macs)
+			if a == nil {
+				return
+			}
+			if m == nil {
+				m = gnn.MustModel(model, monoDims, 1)
+			}
+			if !a.Supports(m) {
+				break
+			}
+			id := fmt.Sprintf("%s/%s/%d", model, p.Name, macs)
+			r := c.run(a, "monotone-macs", id, m, p)
+			if r == nil {
+				return
+			}
+			if prev >= 0 && r.Cycles > prev {
+				c.fail("monotone-macs", id,
+					"cycles rose from %d (%d MACs) to %d (%d MACs)", prev, prevMACs, r.Cycles, macs)
+			}
+			prev, prevMACs = r.Cycles, macs
+		}
+	}
+}
+
+// determinism: one shared instance, run from 1 and then Workers goroutines
+// on the same cell; every JSON-marshaled result must be byte-identical.
+// This is the backend's half of the bench engine's 1-vs-8-workers export
+// contract (the suite adds ordered iteration on top).
+func (c *checker) determinism() {
+	a := c.build(1024)
+	if a == nil {
+		return
+	}
+	model := ""
+	for _, name := range c.cfg.Models {
+		if a.Supports(gnn.MustModel(name, Dims, 1)) {
+			model = name
+			break
+		}
+	}
+	if model == "" {
+		return
+	}
+	m := gnn.MustModel(model, Dims, 1)
+	p := Star(64)
+	id := fmt.Sprintf("%s/%s", model, p.Name)
+	serial := c.run(a, "determinism", id, m, p)
+	if serial == nil {
+		return
+	}
+	want, err := json.Marshal(serial)
+	if err != nil {
+		c.fail("determinism", id, "marshal: %v", err)
+		return
+	}
+	got := make([][]byte, c.cfg.Workers)
+	errs := make([]error, c.cfg.Workers)
+	var wg sync.WaitGroup
+	for i := 0; i < c.cfg.Workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fault.Safely(func() error {
+				r, err := a.Run(m, p)
+				if err != nil {
+					return err
+				}
+				got[i], err = json.Marshal(r)
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < c.cfg.Workers; i++ {
+		if errs[i] != nil {
+			c.fail("determinism", id, "worker %d: %v", i, errs[i])
+			continue
+		}
+		if !bytes.Equal(got[i], want) {
+			c.fail("determinism", id, "worker %d diverged from serial result:\nserial: %s\nworker: %s",
+				i, want, got[i])
+		}
+	}
+}
+
+// faultContract: malformed inputs must earn typed input errors without
+// panicking, and an injected panic must be containable through the standard
+// fault.Safely boundary (the same idiom the bench engine and the serving
+// layer rely on).
+func (c *checker) faultContract() {
+	a := c.build(1024)
+	if a == nil {
+		return
+	}
+	model := c.cfg.Models[0]
+	m := gnn.MustModel(model, Dims, 1)
+	p := Star(16)
+
+	check := func(caseName string, m *gnn.Model, p *graph.Profile) {
+		err := fault.Safely(func() error {
+			_, rerr := a.Run(m, p)
+			return rerr
+		})
+		if err == nil {
+			c.fail("fault", caseName, "Run accepted malformed input")
+			return
+		}
+		if _, ok := fault.AsPanic(err); ok {
+			c.fail("fault", caseName, "Run panicked instead of returning a typed error: %v", err)
+			return
+		}
+		if !fault.IsInput(err) {
+			c.fail("fault", caseName, "error is not a typed input error: %v", err)
+		}
+	}
+	check("nil-model", nil, p)
+	check("nil-profile", m, nil)
+	check("empty-profile", m, graph.NewProfile("empty", nil))
+
+	// Injected panic: wrap the backend in the faultinject accelerator with
+	// a poisoned cell; fault.Safely must contain it as a *fault.PanicError.
+	inj := &faultinject.Accelerator{
+		Inner: a,
+		Cells: map[string]faultinject.Fault{
+			faultinject.CellKey(m.ModelName, p.Name): {Kind: faultinject.Panic, Value: "conform: injected"},
+		},
+	}
+	err := fault.Safely(func() error {
+		_, rerr := inj.Run(m, p)
+		return rerr
+	})
+	if err == nil {
+		c.fail("fault", "injected-panic", "injected panic vanished")
+	} else if _, ok := fault.AsPanic(err); !ok {
+		c.fail("fault", "injected-panic", "contained value is not a *fault.PanicError: %v", err)
+	}
+	if inj.Calls() != 1 {
+		c.fail("fault", "injected-panic", "injection wrapper saw %d calls, want 1", inj.Calls())
+	}
+}

@@ -1,0 +1,231 @@
+package conform_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"scale/internal/arch"
+	"scale/internal/baseline"
+	"scale/internal/baseline/conform"
+	"scale/internal/core"
+	"scale/internal/fault"
+	"scale/internal/gnn"
+	"scale/internal/graph"
+	"scale/internal/mem"
+)
+
+// scaledHBM provisions bandwidth proportionally to the MAC budget, the
+// §VII-B system-scaling assumption the monotone-macs check runs under.
+func scaledHBM(macs int) mem.HBM {
+	hbm := mem.DefaultHBM()
+	hbm.BytesPerCycle *= float64(macs) / 1024
+	return hbm
+}
+
+// backends enumerates every accelerator the repository ships: the six
+// internal/baseline backends and the SCALE core. Each entry holds fresh
+// constructors, as the harness requires.
+func backends() map[string]conform.Config {
+	out := map[string]conform.Config{
+		"SCALE": {
+			New: func(macs int) (arch.Accelerator, error) {
+				cfg, err := core.ConfigForMACs(macs)
+				if err != nil {
+					return nil, err
+				}
+				return core.New(cfg)
+			},
+			NewScaled: func(macs int) (arch.Accelerator, error) {
+				cfg, err := core.ConfigForMACs(macs)
+				if err != nil {
+					return nil, err
+				}
+				cfg.HBM = scaledHBM(macs)
+				return core.New(cfg)
+			},
+		},
+	}
+	for _, name := range []string{"AWB-GCN", "GCNAX", "ReGNN", "FlowGNN", "I-GCN", "Systolic"} {
+		name := name
+		out[name] = conform.Config{
+			New: func(macs int) (arch.Accelerator, error) {
+				return baseline.ByName(name, macs)
+			},
+			NewScaled: func(macs int) (arch.Accelerator, error) {
+				b, err := baseline.ByName(name, macs)
+				if err != nil {
+					return nil, err
+				}
+				return b.WithMemory(mem.DefaultGlobalBuffer(), scaledHBM(macs)), nil
+			},
+		}
+	}
+	return out
+}
+
+// TestConform runs the full conformance contract over every backend in the
+// repository. This is the `make conform` gate.
+func TestConform(t *testing.T) {
+	for name, cfg := range backends() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for _, v := range conform.Check(cfg) {
+				t.Error(v)
+			}
+		})
+	}
+}
+
+// TestConformDetectsBrokenBackend proves the harness has teeth: a backend
+// that lies about utilization, panics on empty input, and loses cycles when
+// edges are added must be flagged on every corresponding check.
+func TestConformDetectsBrokenBackend(t *testing.T) {
+	vs := conform.Check(conform.Config{
+		New:  func(macs int) (arch.Accelerator, error) { return &brokenAccel{macs: macs}, nil },
+		MACs: []int{512, 1024},
+	})
+	byCheck := map[string]int{}
+	for _, v := range vs {
+		byCheck[v.Check]++
+	}
+	for _, check := range []string{"sanity", "monotone-edges", "fault"} {
+		if byCheck[check] == 0 {
+			t.Errorf("broken backend passed the %s check; violations: %v", check, vs)
+		}
+	}
+}
+
+// brokenAccel violates the contract on purpose.
+type brokenAccel struct{ macs int }
+
+func (b *brokenAccel) Name() string             { return "Broken" }
+func (b *brokenAccel) MACs() int                { return b.macs }
+func (b *brokenAccel) Supports(*gnn.Model) bool { return true }
+func (b *brokenAccel) Run(m *gnn.Model, p *graph.Profile) (*arch.Result, error) {
+	if m == nil || p == nil || p.NumVertices() == 0 {
+		panic("broken: bad input") // lint:allow-panic — the contract violation under test
+	}
+	r := &arch.Result{Accelerator: "Broken", Model: m.Name(), Dataset: p.Name}
+	// Fewer cycles the more edges there are, and util > 1: both illegal.
+	cycles := int64(1_000_000) - p.NumEdges()
+	if cycles < 1 {
+		cycles = 1
+	}
+	r.Layers = []arch.LayerResult{{Cycles: cycles, AggUtil: 1.5, Breakdown: arch.Breakdown{Agg: cycles}}}
+	r.Finalize()
+	return r, nil
+}
+
+// TestClosedFormHook verifies the closed-form comparison path: a correct
+// expectation passes, an off-by-one is reported.
+func TestClosedFormHook(t *testing.T) {
+	newFn := func(macs int) (arch.Accelerator, error) { return baseline.NewSystolic(macs), nil }
+	m := gnn.MustModel("gcn", conform.Dims, 1)
+	sys := baseline.NewSystolic(1024)
+	r, err := sys.Run(m, conform.Star(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := conform.Check(conform.Config{
+		New:  newFn,
+		MACs: []int{1024},
+		ClosedForms: map[string]int64{
+			conform.ClosedFormKey("gcn", "star16", 1024): r.Cycles,
+		},
+	})
+	if len(good) != 0 {
+		t.Errorf("correct closed form flagged: %v", good)
+	}
+	bad := conform.Check(conform.Config{
+		New:  newFn,
+		MACs: []int{1024},
+		ClosedForms: map[string]int64{
+			conform.ClosedFormKey("gcn", "star16", 1024): r.Cycles + 1,
+		},
+	})
+	found := false
+	for _, v := range bad {
+		if v.Check == "closed-form" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("off-by-one closed form not flagged: %v", bad)
+	}
+}
+
+// FuzzConformAccelerator drives random small CSR-style degree profiles
+// through every backend, asserting the conformance invariants: no panics,
+// bounded utilization, and (for the baseline backends, whose models are
+// closed-form) cycle monotonicity under edge addition.
+func FuzzConformAccelerator(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(4))
+	f.Add(uint64(42), uint8(1), uint8(0))
+	f.Add(uint64(7), uint8(64), uint8(31))
+	f.Add(uint64(99), uint8(13), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, nv, maxDeg uint8) {
+		n := int(nv)
+		if n == 0 {
+			n = 1
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+		degrees := make([]int32, n)
+		for i := range degrees {
+			if maxDeg > 0 {
+				degrees[i] = int32(rng.Intn(int(maxDeg) + 1))
+			}
+		}
+		p := graph.NewProfile("fuzz", degrees)
+		// The same graph with one extra in-edge on a random vertex.
+		more := make([]int32, n)
+		copy(more, degrees)
+		more[rng.Intn(n)]++
+		pMore := graph.NewProfile("fuzz", more)
+
+		models := []*gnn.Model{
+			gnn.MustModel("gcn", conform.Dims, 1),
+			gnn.MustModel("gs-pl", conform.Dims, 1),
+		}
+		for name, cfg := range backends() {
+			a, err := cfg.New(1024)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			_, isBaseline := a.(baseline.Backend)
+			for _, m := range models {
+				if !a.Supports(m) {
+					continue
+				}
+				var r, rMore *arch.Result
+				err := fault.Safely(func() error {
+					var rerr error
+					if r, rerr = a.Run(m, p); rerr != nil {
+						return rerr
+					}
+					rMore, rerr = a.Run(m, pMore)
+					return rerr
+				})
+				if err != nil {
+					if _, ok := fault.AsPanic(err); ok {
+						t.Fatalf("%s/%s: panic on %v: %v", name, m.Name(), degrees, err)
+					}
+					t.Fatalf("%s/%s: run failed on %v: %v", name, m.Name(), degrees, err)
+				}
+				if r.AggUtil < 0 || r.AggUtil > 1 || r.UpdateUtil < 0 || r.UpdateUtil > 1 {
+					t.Fatalf("%s/%s: util out of bounds: agg=%f upd=%f", name, m.Name(), r.AggUtil, r.UpdateUtil)
+				}
+				if r.Cycles <= 0 {
+					t.Fatalf("%s/%s: non-positive cycles %d", name, m.Name(), r.Cycles)
+				}
+				// The SCALE core's batching/ring heuristics re-plan per
+				// profile, so only the closed-form baseline backends owe
+				// exact monotonicity under single-edge addition.
+				if isBaseline && rMore.Cycles < r.Cycles {
+					t.Fatalf("%s/%s: adding an edge cut cycles %d → %d (degrees %v)",
+						name, m.Name(), r.Cycles, rMore.Cycles, degrees)
+				}
+			}
+		}
+	})
+}

@@ -21,7 +21,7 @@ func deterministicExperiments() ([]Experiment, []string) {
 		"table1": true, "fig1a": true, "fig1b": true, "fig1c": true,
 		"fig10": true, "fig11": true, "table3": true, "fig13a": true,
 		"fig13b": true, "fig15": true, "fig16a": true, "fig16b": true,
-		"ext-gat": true, "ext-igcn": true, "ext-quant": true,
+		"ext-gat": true, "ext-igcn": true, "ext-systolic": true, "ext-quant": true,
 	}
 	var exps []Experiment
 	for _, e := range all {

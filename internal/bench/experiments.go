@@ -32,6 +32,7 @@ func Experiments() []Experiment {
 		{"ext-batch", "measured batch-size sweep", (*Suite).ExtBatchSweep},
 		{"ext-sweep", "synthetic workload sensitivity sweep", (*Suite).ExtSweep},
 		{"ext-igcn", "I-GCN islandization comparison", (*Suite).ExtIGCN},
+		{"ext-systolic", "systolic-array GEMM dataflow comparison", (*Suite).ExtSystolic},
 		{"ext-mapping", "edge- vs feature-parallel aggregation mapping", (*Suite).ExtMapping},
 		{"ext-quant", "degree-based quantization (DBQ-style)", (*Suite).ExtQuant},
 	}

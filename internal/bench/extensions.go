@@ -268,6 +268,55 @@ func (s *Suite) ExtIGCN() (*Table, error) {
 	return t, nil
 }
 
+// ExtSystolic compares the systolic-array backend — a SCALE-Sim-style
+// output-stationary GEMM dataflow outside the paper's Fig. 10 set — against
+// AWB-GCN and SCALE on GCN. The square PE array fills on the dense update
+// GEMMs (high update utilization) but serializes the gather-bound
+// aggregation through one buffer port per column, so its standing on a
+// dataset tracks that dataset's update share.
+func (s *Suite) ExtSystolic() (*Table, error) {
+	t := &Table{
+		Title:  "Extension — systolic array (output-stationary GEMM) on GCN, AWB-GCN = 1.0",
+		Header: []string{"dataset", "upd-util", "agg-util", "Systolic", "SCALE"},
+	}
+	type point struct {
+		sys, awb, scal *arch.Result
+	}
+	points := make([]point, len(s.Datasets))
+	err := s.each(len(points), func(i int) error {
+		ds := s.Datasets[i]
+		sys, err := s.Run(baseline.NewSystolic(s.MACs), "gcn", ds)
+		if err != nil {
+			return err
+		}
+		awb, err := s.Run(baseline.NewAWBGCN(s.MACs), "gcn", ds)
+		if err != nil {
+			return err
+		}
+		scale, err := s.SCALE()
+		if err != nil {
+			return err
+		}
+		scaleRes, err := s.Run(scale, "gcn", ds)
+		if err != nil {
+			return err
+		}
+		points[i] = point{sys, awb, scaleRes}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, ds := range s.Datasets {
+		pt := points[di]
+		t.AddRow(ds, pct(pt.sys.UpdateUtil), pct(pt.sys.AggUtil),
+			f2(arch.Speedup(pt.awb, pt.sys)),
+			f2(arch.Speedup(pt.awb, pt.scal)))
+	}
+	t.AddNote("output-stationary PE array: dense update GEMMs fill the array; sparse gathers drain through the global-buffer port")
+	return t, nil
+}
+
 // ExtMapping compares the two aggregation mappings §III-B.1 names: edge
 // parallelism (reduce chains distributed across rings; balance depends on
 // the schedule) and feature parallelism (feature slices across rings;

@@ -131,8 +131,8 @@ func (s *Suite) scaledAccelerators(macs int, dataset string) ([]arch.Accelerator
 	gb := mem.DefaultGlobalBuffer()
 	var accels []arch.Accelerator
 	for _, b := range baseline.All(macs) {
-		if b.Name() == "ReGNN" {
-			b.RedundancyRate = s.Redundancy(dataset).CapturedRate()
+		if r, ok := b.(*baseline.Baseline); ok && r.Name() == "ReGNN" {
+			r.RedundancyRate = s.Redundancy(dataset).CapturedRate()
 		}
 		accels = append(accels, b.WithMemory(gb, hbm))
 	}

@@ -180,8 +180,8 @@ func (s *Suite) Accelerators(dataset string) ([]arch.Accelerator, error) {
 	}
 	accels := []arch.Accelerator{scale}
 	for _, b := range baseline.All(s.MACs) {
-		if b.Name() == "ReGNN" {
-			b.RedundancyRate = s.Redundancy(dataset).CapturedRate()
+		if r, ok := b.(*baseline.Baseline); ok && r.Name() == "ReGNN" {
+			r.RedundancyRate = s.Redundancy(dataset).CapturedRate()
 		}
 		accels = append(accels, b)
 	}

@@ -37,10 +37,15 @@ type inferResponse struct {
 	Embeddings [][]float32 `json:"embeddings"`
 }
 
-// simulateBody is the POST /v1/simulate request payload.
+// simulateBody is the POST /v1/simulate request payload. Accel selects the
+// accelerator to simulate on: empty or "scale" runs the shared SCALE
+// simulator; any internal/baseline backend name (awb-gcn, gcnax, regnn,
+// flowgnn, i-gcn, systolic) runs that backend at the simulator's MAC budget.
+// Unknown names map to 400 bad_input.
 type simulateBody struct {
 	Model   string `json:"model"`
 	Dataset string `json:"dataset"`
+	Accel   string `json:"accel,omitempty"`
 }
 
 // errorResponse is every non-2xx payload. Kind is a stable machine-readable
@@ -244,7 +249,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad JSON body: "+err.Error(), "bad_input")
 		return
 	}
-	report, err := s.cfg.Sim.Simulate(body.Model, body.Dataset)
+	report, err := s.cfg.Sim.SimulateOn(body.Accel, body.Model, body.Dataset)
 	if err != nil {
 		s.writeMapped(w, err)
 		return

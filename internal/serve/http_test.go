@@ -112,6 +112,8 @@ func TestStatusMapping(t *testing.T) {
 	}{
 		{"infer ok", Config{}, "POST", "/v1/infer", validInfer(), 200, ""},
 		{"simulate ok", Config{}, "POST", "/v1/simulate", simulateBody{Model: "gcn", Dataset: "cora"}, 200, ""},
+		{"simulate systolic", Config{}, "POST", "/v1/simulate", simulateBody{Model: "gcn", Dataset: "cora", Accel: "systolic"}, 200, ""},
+		{"unknown accelerator (ErrBadConfig)", Config{}, "POST", "/v1/simulate", simulateBody{Model: "gcn", Dataset: "cora", Accel: "nope"}, 400, "bad_input"},
 		{"infer GET", Config{}, "GET", "/v1/infer", nil, 405, "usage"},
 		{"simulate GET", Config{}, "GET", "/v1/simulate", nil, 405, "usage"},
 		{"bad JSON", Config{}, "POST", "/v1/infer", "{not json", 400, "bad_input"},

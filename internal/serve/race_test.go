@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"net/http"
 	"net/http/httptest"
@@ -46,6 +47,15 @@ func TestServeStress(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
+	// Serial reference for the systolic timing path: every concurrent 200
+	// from the same /v1/simulate request must serialize to these bytes.
+	sysBody := simulateBody{Model: "gcn", Dataset: "cora", Accel: "systolic"}
+	refRec := do(t, s, "POST", "/v1/simulate", sysBody)
+	if refRec.Code != http.StatusOK {
+		t.Fatalf("systolic simulate = %d (%s)", refRec.Code, refRec.Body.String())
+	}
+	sysRef := append([]byte(nil), refRec.Body.Bytes()...)
+
 	sessions := []inferBody{
 		{Model: "gcn", Dims: []int{3, 3}},
 		{Model: "gat", Dims: []int{3, 4}},
@@ -58,6 +68,7 @@ func TestServeStress(t *testing.T) {
 		badCode  atomic.Int64
 		started  = make(chan struct{})
 		inFlight sync.WaitGroup
+		sysOK    atomic.Int64
 	)
 	record := func(code int) {
 		switch code {
@@ -97,6 +108,20 @@ func TestServeStress(t *testing.T) {
 				body.Features = req.Features
 				rec := do(t, s, "POST", "/v1/infer", body)
 				record(rec.Code)
+				// Interleave systolic timing runs with the infer traffic:
+				// /v1/simulate shares the drain/queue machinery, and its
+				// answers must not depend on what else is in flight.
+				if i%2 == 0 {
+					sr := do(t, s, "POST", "/v1/simulate", sysBody)
+					record(sr.Code)
+					if sr.Code == http.StatusOK {
+						sysOK.Add(1)
+						if !bytes.Equal(sr.Body.Bytes(), sysRef) {
+							t.Errorf("concurrent systolic simulate diverged from serial reference:\n  serial: %s\n  got:    %s",
+								sysRef, sr.Body.Bytes())
+						}
+					}
+				}
 				if i == perWorker/2 {
 					inFlight.Done() // half-way marker: drain starts mid-flight
 				}
@@ -130,6 +155,9 @@ func TestServeStress(t *testing.T) {
 	if codes[0].Load() == 0 {
 		t.Fatal("no request succeeded before the drain")
 	}
+	if sysOK.Load() == 0 {
+		t.Fatal("no systolic simulate succeeded under stress")
+	}
 	if codes[4].Load() == 0 {
 		t.Fatal("poisoned session produced no contained 500s")
 	}
@@ -139,4 +167,42 @@ func TestServeStress(t *testing.T) {
 	if live := s.LiveSessions(); live != 0 {
 		t.Fatalf("sessions alive after close: %d", live)
 	}
+}
+
+// TestServeSimulateDeterminism pins /v1/simulate byte-for-byte across
+// concurrency: for every accelerator the endpoint exposes, the JSON answered
+// serially and the JSON answered from 8 concurrent workers on the shared
+// simulator must be identical.
+func TestServeSimulateDeterminism(t *testing.T) {
+	s := newTestServer(t, Config{})
+	accels := []string{"scale", "systolic", "awb-gcn", "gcnax", "regnn", "flowgnn", "i-gcn"}
+	ref := make(map[string][]byte, len(accels))
+	for _, a := range accels {
+		rec := do(t, s, "POST", "/v1/simulate", simulateBody{Model: "gcn", Dataset: "cora", Accel: a})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: %d (%s)", a, rec.Code, rec.Body.String())
+		}
+		ref[a] = append([]byte(nil), rec.Body.Bytes()...)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2*len(accels); i++ {
+				a := accels[(w+i)%len(accels)]
+				rec := do(t, s, "POST", "/v1/simulate", simulateBody{Model: "gcn", Dataset: "cora", Accel: a})
+				if rec.Code != http.StatusOK {
+					t.Errorf("%s: %d (%s)", a, rec.Code, rec.Body.String())
+					return
+				}
+				if !bytes.Equal(rec.Body.Bytes(), ref[a]) {
+					t.Errorf("%s: concurrent body diverged from serial:\n  serial: %s\n  worker: %s",
+						a, ref[a], rec.Body.Bytes())
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }

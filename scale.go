@@ -18,8 +18,10 @@ package scale
 
 import (
 	"fmt"
+	"strings"
 
 	"scale/internal/arch"
+	"scale/internal/baseline"
 	"scale/internal/bench"
 	"scale/internal/core"
 	"scale/internal/energy"
@@ -147,6 +149,44 @@ func (s *Simulator) Simulate(model, dataset string) (Report, error) {
 		return Report{}, err
 	}
 	return reportOf(r), nil
+}
+
+// SimulateOn is Simulate on a named accelerator: "scale" (or "") selects
+// the SCALE model this Simulator was configured with; any backend name
+// internal/baseline knows ("awb-gcn", "gcnax", "regnn", "flowgnn", "i-gcn",
+// "systolic", case-insensitive) selects that backend at the Simulator's MAC
+// budget. Unknown names are typed input errors.
+func (s *Simulator) SimulateOn(accel, model, dataset string) (Report, error) {
+	if accel == "" || strings.EqualFold(accel, "scale") {
+		return s.Simulate(model, dataset)
+	}
+	d, err := graph.ByName(dataset)
+	if err != nil {
+		return Report{}, err
+	}
+	m, err := gnn.NewModel(model, d.FeatureDims, 1)
+	if err != nil {
+		return Report{}, err
+	}
+	b, err := baseline.ByName(accel, s.accel.MACs())
+	if err != nil {
+		return Report{}, err
+	}
+	r, err := b.Run(m, d.Profile())
+	if err != nil {
+		return Report{}, err
+	}
+	return reportOf(r), nil
+}
+
+// Accelerators lists the names SimulateOn accepts: SCALE plus every
+// backend in internal/baseline.
+func Accelerators() []string {
+	names := []string{"SCALE"}
+	for _, b := range baseline.All(1024) {
+		names = append(names, b.Name())
+	}
+	return append(names, "I-GCN")
 }
 
 // LayerTraceInfo summarizes one layer's execution trace: the chosen ring

@@ -113,8 +113,8 @@ func TestInferMatchesTinyExample(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 21 {
-		t.Fatalf("expected 21 experiments, got %d", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("expected 22 experiments, got %d", len(ids))
 	}
 	out, err := Experiment("fig16b")
 	if err != nil {
