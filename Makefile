@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint conform race fuzz bench bench-serve bench-smoke serve-smoke verify
+.PHONY: build test lint conform race fuzz bce bench bench-serve bench-smoke serve-smoke verify
 
 # Tier 1: everything compiles and the full test suite passes.
 build:
@@ -30,6 +30,26 @@ lint:
 	@if grep -rln --include='*.go' 'bench/faultinject' internal/bench/*.go >/dev/null 2>&1; then \
 	    echo "lint: internal/bench must not import its fault-injection harness"; exit 1; \
 	fi
+
+# Bounds-check-elimination gate (DESIGN §4j): the float32 and int8 hot-loop
+# files (internal/tensor/kernels.go, quant.go) must compile with zero
+# residual bounds checks — every inner loop is shaped so the compiler can
+# prove indices in range. `-d=ssa/check_bce` prints a "Found IsInBounds"
+# line per residual check; any such line in the two hot files fails the
+# gate. (One-shot IsSliceInBounds from explicit prefix slicing is fine —
+# it runs once per call, not per element. Cold accessors in matrix.go /
+# rand.go are exempt by design.) -a defeats the build cache so the
+# compiler actually re-emits diagnostics.
+bce:
+	@out=$$($(GO) build -a -gcflags='scale/internal/tensor=-d=ssa/check_bce' ./internal/tensor 2>&1); \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then echo "$$out"; exit $$status; fi; \
+	bad=$$(echo "$$out" | grep -E '(kernels|quant)\.go' | grep 'Found IsInBounds' || true); \
+	if [ -n "$$bad" ]; then \
+	    echo "bce: residual bounds checks in hot tensor kernels:"; \
+	    echo "$$bad"; exit 1; \
+	fi; \
+	echo "bce: internal/tensor kernels.go + quant.go are bounds-check-free"
 
 # Backend conformance (DESIGN §4i): every accelerator — the SCALE core and
 # all six baseline backends — must pass the shared contract: exact
@@ -120,4 +140,4 @@ serve-smoke:
 	trap - EXIT; \
 	echo "serve-smoke: 24 infer + 1 simulate served, drained cleanly"
 
-verify: test lint conform race bench-smoke serve-smoke
+verify: test lint conform bce race bench-smoke serve-smoke

@@ -50,10 +50,10 @@ func TestParseGolden(t *testing.T) {
 // relies on, line class by line class.
 func TestParseMalformedLines(t *testing.T) {
 	input := strings.Join([]string{
-		"BenchmarkTruncated",               // too few fields
-		"BenchmarkShort 100",               // still too few
-		"BenchmarkBadIters abc 123 ns/op",  // iterations not an integer
-		"BenchmarkBadValue 100 xx ns/op",   // value not a float: line kept, metric dropped
+		"BenchmarkTruncated",                           // too few fields
+		"BenchmarkShort 100",                           // still too few
+		"BenchmarkBadIters abc 123 ns/op",              // iterations not an integer
+		"BenchmarkBadValue 100 xx ns/op",               // value not a float: line kept, metric dropped
 		"BenchmarkGood-2 10 25 ns/op 3 allocs/op junk", // odd trailing field ignored
 		"not a benchmark line at all",
 	}, "\n")

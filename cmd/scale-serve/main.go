@@ -7,7 +7,9 @@
 //	POST /v1/simulate  {"model":"gcn","dataset":"cora"} → scale.Report
 //	POST /v1/infer     {"model":"gin","dims":[2,3],"num_vertices":3,
 //	                    "edges":[[0,1],[2,1]],"features":[[1,0],[0,1],[1,1]],
-//	                    "timeout_ms":500} → {"embeddings":[[...],...]}
+//	                    "timeout_ms":500,"precision":"int8"}
+//	                    → {"embeddings":[[...],...]}
+//	                    (precision defaults to the -precision flag, then fp32)
 //	GET  /healthz      200 while serving, 503 while draining
 //	GET  /metrics      Prometheus text: request counters, latency
 //	                   histograms, batch/queue/session counters
@@ -51,6 +53,7 @@ func run(ctx context.Context) error {
 		queueDepth   = fs.Int("queue", 64, "bounded admission queue depth (overflow answers 429)")
 		maxSessions  = fs.Int("sessions", 8, "session cache capacity (LRU eviction)")
 		maxVertices  = fs.Int("max-vertices", 1<<20, "per-request vertex cap")
+		precision    = fs.String("precision", "", "default execution precision for infer requests without one: fp32 (default) or int8")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget after SIGTERM")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -62,18 +65,31 @@ func run(ctx context.Context) error {
 	if fs.NArg() > 0 {
 		return cli.Usagef("unexpected arguments %v", fs.Args())
 	}
+	if *precision != "" {
+		ok := false
+		for _, p := range scale.Precisions() {
+			if *precision == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return cli.Usagef("unknown -precision %q (want one of %v)", *precision, scale.Precisions())
+		}
+	}
 
 	sim, err := scale.New(scale.Options{MACs: *macs, RingSize: *ring, BatchSize: *batch, Scheduling: *policy})
 	if err != nil {
 		return err
 	}
 	srv := serve.New(serve.Config{
-		Sim:         sim,
-		BatchWindow: *batchWindow,
-		MaxBatch:    *maxBatch,
-		QueueDepth:  *queueDepth,
-		MaxSessions: *maxSessions,
-		MaxVertices: *maxVertices,
+		Sim:              sim,
+		BatchWindow:      *batchWindow,
+		MaxBatch:         *maxBatch,
+		QueueDepth:       *queueDepth,
+		MaxSessions:      *maxSessions,
+		MaxVertices:      *maxVertices,
+		DefaultPrecision: *precision,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -109,3 +109,42 @@ func benchForwardRedditWorkers(b *testing.B, workers int) {
 		}
 	}
 }
+
+// The int8 tier at Reddit scale: the same workload as
+// BenchmarkForwardFunctionalReddit on the quantized execution path (int8
+// source rows through the reduce chains, int8 GEMV updates). The acceptance
+// target is >=2x over the float32 Reddit-scale median.
+func BenchmarkForwardFunctionalRedditInt8(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Precision = PrecisionInt8
+	s := MustNew(cfg)
+	d := graph.MustByName("reddit")
+	g := d.Build()
+	m := gnn.MustModel("gcn", d.FeatureDims, 1)
+	x := gnn.RandomFeatures(g, d.FeatureDims[0], 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Forward(m, g, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The int8 tier on full-size Cora (sparser, update-dominated).
+func BenchmarkForwardFunctionalCoraInt8(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Precision = PrecisionInt8
+	s := MustNew(cfg)
+	d := graph.MustByName("cora")
+	g := d.Build()
+	m := gnn.MustModel("gcn", d.FeatureDims, 1)
+	x := gnn.RandomFeatures(g, d.FeatureDims[0], 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Forward(m, g, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -18,6 +18,9 @@ import (
 type fwdWorker struct {
 	buf               []float32
 	msg, acc, scratch []float32
+	qs                []int8
+	acc32             []int32
+	qswar             []uint64
 	err               error
 }
 
@@ -33,6 +36,11 @@ type fwdState struct {
 	batches    [][]int32
 	schedulers map[sched.Config]*sched.Scheduler
 	workers    []fwdWorker
+	// qpsrc holds the per-layer quantized source features on the int8
+	// tier (QAggregator layers only) and qcoefs the per-row source
+	// coefficients folded into them; recycled across layers and calls.
+	qpsrc  *tensor.QSumMatrix
+	qcoefs []float32
 }
 
 func (st *fwdState) scheduler(cfg sched.Config) (*sched.Scheduler, error) {
@@ -71,8 +79,9 @@ func (st *fwdState) batchesFor(n, b int) [][]int32 {
 }
 
 // sizeWorkers (re)shapes nw workers' scratch windows for a layer's
-// accumulator width and update-scratch need.
-func (st *fwdState) sizeWorkers(nw, width, updateScratch int) []fwdWorker {
+// accumulator width, update-scratch need, and (int8 tier) quantization and
+// integer-accumulator scratch needs.
+func (st *fwdState) sizeWorkers(nw, width, updateScratch, qScratch, qAccWidth int) []fwdWorker {
 	for len(st.workers) < nw {
 		st.workers = append(st.workers, fwdWorker{})
 	}
@@ -87,6 +96,18 @@ func (st *fwdState) sizeWorkers(nw, width, updateScratch int) []fwdWorker {
 		w.msg = buf[:width]
 		w.acc = buf[width : 2*width]
 		w.scratch = buf[2*width:]
+		if cap(w.qs) < qScratch {
+			w.qs = make([]int8, qScratch)
+		}
+		w.qs = w.qs[:qScratch]
+		if cap(w.acc32) < qAccWidth {
+			w.acc32 = make([]int32, qAccWidth)
+		}
+		w.acc32 = w.acc32[:qAccWidth]
+		if cap(w.qswar) < qAccWidth/4 {
+			w.qswar = make([]uint64, qAccWidth/4)
+		}
+		w.qswar = w.qswar[:qAccWidth/4]
 		w.err = nil
 	}
 	return ws
@@ -168,10 +189,53 @@ func (s *SCALE) forwardLayer(ctx context.Context, li int, layer gnn.Layer, g *gr
 	numPEs := nRings * ringSize
 	batch := cfg.EffectiveBatchSize()
 
-	psrc, pdst := gnn.PrepareLayer(layer, h, workers)
+	// The int8 tier: layers exposing quantized kernels get their weights
+	// quantized once (idempotent per layer) and their prepare/update paths
+	// dispatched to the int8 kernels. Layers without quantized forms (e.g.
+	// custom specs) silently stay on float32 — precision is a per-layer
+	// capability, not a model-wide requirement.
+	var qupd gnn.QKernels
+	if cfg.EffectivePrecision() == PrecisionInt8 {
+		if qk, ok := layer.(gnn.QKernels); ok {
+			if err := qk.QuantizeWeights(); err != nil {
+				return nil, fmt.Errorf("core: layer %d: quantizing weights: %w", li, err)
+			}
+			qupd = qk
+		}
+	}
+
+	psrc, pdst := gnn.PrepareLayerPrecision(layer, h, workers, qupd != nil)
 	kind := layer.Reduce()
 	width := kind.AccWidth(layer.MsgDim())
 	out := tensor.NewMatrix(h.Rows, layer.OutDim())
+
+	// Separable-coefficient layers additionally run their reduce chains in
+	// integer arithmetic: each source row is pre-multiplied by its QSrcCoef
+	// and quantized under one shared scale (once per layer, 4x less memory
+	// traffic per edge visit), chains sum raw int8 rows in exact int32, and
+	// each vertex dequantizes its chain once with gscale·QDstCoef before
+	// the usual finalize/update.
+	var qagg gnn.QAggregator
+	var qpsrc *tensor.QSumMatrix
+	if qupd != nil {
+		if qa, ok := layer.(gnn.QAggregator); ok && psrc.Rows == g.NumVertices() {
+			if st.qpsrc == nil {
+				st.qpsrc = tensor.NewQSumMatrix(psrc.Rows, psrc.Cols)
+			}
+			st.qpsrc.Resize(psrc.Rows, psrc.Cols)
+			if cap(st.qcoefs) < psrc.Rows {
+				st.qcoefs = make([]float32, psrc.Rows)
+			}
+			coefs := st.qcoefs[:psrc.Rows]
+			for v := range coefs {
+				coefs[v] = qa.QSrcCoef(int(degrees[v]))
+			}
+			if err := tensor.ParallelQuantizeScaledInto(st.qpsrc, psrc, coefs, workers); err != nil {
+				return nil, fmt.Errorf("core: layer %d: quantizing features: %w", li, err)
+			}
+			qagg, qpsrc = qa, st.qpsrc
+		}
+	}
 
 	// The functional executor walks per-vertex work, so it needs
 	// materialized vertex ids; the scheduler is reused across batches and
@@ -190,7 +254,14 @@ func (s *SCALE) forwardLayer(ctx context.Context, li int, layer gnn.Layer, g *gr
 		seen[i] = false
 	}
 	nw := tensor.RowWorkers(nRings, workers)
-	ws := st.sizeWorkers(nw, width, layer.UpdateScratch())
+	qScratch, qAccWidth := 0, 0
+	if qupd != nil {
+		qScratch = qupd.QUpdateScratch()
+	}
+	if qagg != nil {
+		qAccWidth = qpsrc.Stride // padded, so FlushChain drains whole chunks
+	}
+	ws := st.sizeWorkers(nw, width, layer.UpdateScratch(), qScratch, qAccWidth)
 
 	// One closure per layer: `groups` rebinds per batch. Workers claim
 	// whole groups (rings) — disjoint vertex sets, so out/seen writes
@@ -204,7 +275,7 @@ func (s *SCALE) forwardLayer(ctx context.Context, li int, layer gnn.Layer, g *gr
 			}
 		}()
 		for gi := lo; gi < hi && wk.err == nil; gi++ {
-			wk.err = runGroup(layer, g, groups[gi], psrc, pdst, h, out, seen, wk, kind, width)
+			wk.err = runGroup(layer, g, groups[gi], psrc, pdst, h, out, seen, wk, kind, width, qupd, qagg, qpsrc)
 		}
 	}
 	for _, vb := range st.batchesFor(g.NumVertices(), batch) {
@@ -235,7 +306,13 @@ func (s *SCALE) forwardLayer(ctx context.Context, li int, layer gnn.Layer, g *gr
 // the finalized aggregation feeds UpdateInto directly into the output row.
 // All scratch belongs to the calling worker, so concurrent groups share only
 // read-only inputs and their disjoint output rows.
-func runGroup(layer gnn.Layer, g *graph.Graph, group *sched.TaskGroup, psrc, pdst, h, out *tensor.Matrix, seen []bool, wk *fwdWorker, kind gnn.ReduceKind, width int) error {
+// On the int8 tier (qupd non-nil) updates dispatch to QUpdateInto, and —
+// for separable-coefficient layers (qagg non-nil) — the reduce chain sums
+// biased quantized source rows in the packed SWAR accumulator (flushed to
+// int32 every ChainBlockEdges), dequantizing once per vertex with
+// Scale·QDstCoef. Integer sums are order-independent, so int8 outputs keep
+// the same worker-count bit-identity guarantee as float32.
+func runGroup(layer gnn.Layer, g *graph.Graph, group *sched.TaskGroup, psrc, pdst, h, out *tensor.Matrix, seen []bool, wk *fwdWorker, kind gnn.ReduceKind, width int, qupd gnn.QKernels, qagg gnn.QAggregator, qpsrc *tensor.QSumMatrix) error {
 	msgDim := layer.MsgDim()
 	for _, task := range group.Tasks {
 		for _, v := range task.Vertices {
@@ -245,24 +322,54 @@ func runGroup(layer gnn.Layer, g *graph.Graph, group *sched.TaskGroup, psrc, pds
 			seen[v] = true
 			nbrs := g.InNeighbors(int(v))
 			acc := wk.acc
-			for i := range acc {
-				acc[i] = 0
-			}
-			var pdstRow []float32
-			if pdst != nil {
-				pdstRow = pdst.Row(int(v))
-			}
-			// The reduce chain: sources stream through the ring in
-			// mapping order, accumulating hop by hop.
-			for _, u := range nbrs {
-				ctx := gnn.EdgeContext{
-					Src: int(u), Dst: int(v),
-					SrcDeg: g.InDegree(int(u)), DstDeg: len(nbrs),
+			if qagg != nil {
+				// Integer reduce chain: the source coefficient is
+				// already folded into the quantized rows, the
+				// destination coefficient folds into the single
+				// dequantizing multiply below.
+				acc32 := wk.acc32
+				for i := range acc32 {
+					acc32[i] = 0
 				}
-				layer.AccumulateEdge(acc, psrc.Row(int(u)), pdstRow, wk.msg, ctx)
+				swar := wk.qswar
+				block := 0
+				for _, u := range nbrs {
+					tensor.AccRowChain(swar, qpsrc.Row(int(u)))
+					block++
+					if block == tensor.ChainBlockEdges {
+						tensor.FlushChain(acc32, swar, block)
+						block = 0
+					}
+				}
+				tensor.FlushChain(acc32, swar, block)
+				c := qpsrc.Scale * qagg.QDstCoef(len(nbrs))
+				for i := range acc {
+					acc[i] = c * float32(acc32[i])
+				}
+			} else {
+				for i := range acc {
+					acc[i] = 0
+				}
+				var pdstRow []float32
+				if pdst != nil {
+					pdstRow = pdst.Row(int(v))
+				}
+				// The reduce chain: sources stream through the ring
+				// in mapping order, accumulating hop by hop.
+				for _, u := range nbrs {
+					ctx := gnn.EdgeContext{
+						Src: int(u), Dst: int(v),
+						SrcDeg: g.InDegree(int(u)), DstDeg: len(nbrs),
+					}
+					layer.AccumulateEdge(acc, psrc.Row(int(u)), pdstRow, wk.msg, ctx)
+				}
 			}
 			agg := kind.Finalize(acc, msgDim, len(nbrs))
-			layer.UpdateInto(out.Row(int(v)), h.Row(int(v)), agg, wk.scratch)
+			if qupd != nil {
+				qupd.QUpdateInto(out.Row(int(v)), h.Row(int(v)), agg, wk.scratch, wk.qs)
+			} else {
+				layer.UpdateInto(out.Row(int(v)), h.Row(int(v)), agg, wk.scratch)
+			}
 		}
 	}
 	return nil

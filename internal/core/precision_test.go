@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"scale/internal/gnn"
+	"scale/internal/graph"
+)
+
+func int8Config() Config {
+	cfg := DefaultConfig()
+	cfg.Precision = PrecisionInt8
+	return cfg
+}
+
+// The int8 accuracy harness: for every model in the zoo and both graph
+// shapes, the quantized execution must track the float32 execution within a
+// documented bound. Per-row symmetric int8 bounds each quantized operand's
+// error by half a quantization step (scale/2 = rowmax/254), so a single
+// GEMV's output error is a fraction of a percent of the row max; the bound
+// here is per-layer max-abs error <= 6% of that layer's max |float32|
+// output, which absorbs the worst observed compounding (GIN chains two
+// quantized GEMVs per layer, and layer-2 inputs already carry layer-1's
+// quantization error).
+func TestInt8AccuracyHarness(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.ErdosRenyi(300, 1500, 3),
+		graph.RMAT(9, 4000, 7),
+	}
+	ref := MustNew(DefaultConfig())
+	q := MustNew(int8Config())
+	for _, g := range graphs {
+		for _, name := range gnn.AllModelNames() {
+			m := gnn.MustModel(name, []int{24, 12, 5}, 11)
+			x := gnn.RandomFeatures(g, 24, 13)
+			want, err := ref.Forward(m, g, x)
+			if err != nil {
+				t.Fatalf("%s/%s float32: %v", g.Name(), name, err)
+			}
+			got, err := q.Forward(m, g, x)
+			if err != nil {
+				t.Fatalf("%s/%s int8: %v", g.Name(), name, err)
+			}
+			for li := range want {
+				var maxRef, maxDiff float64
+				for i, v := range want[li].Data {
+					if a := math.Abs(float64(v)); a > maxRef {
+						maxRef = a
+					}
+					if d := math.Abs(float64(v - got[li].Data[i])); d > maxDiff {
+						maxDiff = d
+					}
+				}
+				bound := 0.06*maxRef + 1e-5
+				if maxDiff > bound {
+					t.Errorf("%s/%s layer %d: int8 max abs err %g > %g (max |float32| %g)",
+						g.Name(), name, li, maxDiff, bound, maxRef)
+				}
+			}
+		}
+	}
+}
+
+// The int8 tier keeps the float32 tier's determinism guarantee: the
+// accumulator stays float32 and every vertex's reduce chain folds in mapping
+// order, so serial and group-parallel quantized execution are byte-identical.
+func TestInt8ParallelBitIdentical(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.ErdosRenyi(300, 1500, 3),
+		graph.RMAT(9, 4000, 7),
+	}
+	s := MustNew(int8Config())
+	for _, g := range graphs {
+		for _, name := range gnn.AllModelNames() {
+			m := gnn.MustModel(name, []int{24, 12, 5}, 11)
+			x := gnn.RandomFeatures(g, 24, 13)
+			serial, err := s.ForwardParallel(m, g, x, 1)
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", g.Name(), name, err)
+			}
+			for _, workers := range []int{2, 8} {
+				par, err := s.ForwardParallel(m, g, x, workers)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", g.Name(), name, workers, err)
+				}
+				for li := range serial {
+					if !par[li].Equal(serial[li]) {
+						t.Fatalf("%s/%s workers=%d layer %d: int8 output not byte-identical (max |Δ| = %g)",
+							g.Name(), name, workers, li, par[li].MaxAbsDiff(serial[li]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// Quantization is strictly opt-in: a simulator built on the explicit fp32
+// precision is byte-identical to one built on the default config, even after
+// the same model has had quantized weight forms materialized by an int8 run.
+func TestFp32UnchangedByQuantizedTier(t *testing.T) {
+	g := graph.ErdosRenyi(200, 900, 5)
+	m := gnn.MustModel("gcn", []int{16, 8, 4}, 3)
+	x := gnn.RandomFeatures(g, 16, 9)
+	def := MustNew(DefaultConfig())
+	want, err := def.Forward(m, g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MustNew(int8Config()).Forward(m, g, x); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Precision = PrecisionFP32
+	got, err := MustNew(cfg).Forward(m, g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := range want {
+		if !got[li].Equal(want[li]) {
+			t.Fatalf("layer %d: fp32 output changed after int8 runs", li)
+		}
+	}
+}
+
+// The int8 hot path inherits the steady-state allocation discipline: the
+// quantized psrc buffer and per-worker int8 scratch recycle, so a warm
+// forward pass allocates only its per-layer outputs plus constant
+// bookkeeping.
+func TestInt8SteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop cached state by design")
+	}
+	g := graph.ErdosRenyi(2000, 8000, 1)
+	s := MustNew(int8Config())
+	m := gnn.MustModel("gcn", []int{64, 16, 4}, 1)
+	x := gnn.RandomFeatures(g, 64, 2)
+	for i := 0; i < 3; i++ {
+		if _, err := s.ForwardParallel(m, g, x, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.ForwardParallel(m, g, x, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 24 {
+		t.Fatalf("steady-state int8 Forward allocates %v per call (budget 24)", allocs)
+	}
+}
+
+// Invalid precision strings are rejected at construction.
+func TestPrecisionValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Precision = "fp64"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("fp64 precision accepted")
+	}
+	for _, s := range []string{"", "fp32", "int8"} {
+		p, err := ParsePrecision(s)
+		if err != nil {
+			t.Fatalf("ParsePrecision(%q): %v", s, err)
+		}
+		if s == "" && p != PrecisionFP32 {
+			t.Fatalf("empty precision resolved to %q", p)
+		}
+	}
+}

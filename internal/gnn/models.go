@@ -87,6 +87,10 @@ type gcnLayer struct {
 	seed    int64
 	once    sync.Once
 	w       *tensor.Matrix // in×out, lazily materialized
+
+	qonce sync.Once
+	qerr  error
+	qwT   *tensor.QMatrix // wᵀ quantized per output column (see quantized.go)
 }
 
 func newGCNLayer(seed int64, in, out int, act bool) *gcnLayer {
@@ -176,6 +180,10 @@ type ggcnLayer struct {
 	seed       int64
 	once       sync.Once
 	a, b, u, v *tensor.Matrix // each in×out, lazily materialized
+
+	qonce              sync.Once
+	qerr               error
+	qaT, qbT, quT, qvT *tensor.QMatrix
 }
 
 func newGGCNLayer(seed int64, in, out int, act bool) *ggcnLayer {
@@ -299,6 +307,10 @@ type sagePoolLayer struct {
 	wp            *tensor.Matrix // in×pool MLP, lazily materialized
 	bp            []float32
 	w             *tensor.Matrix // (in+pool)×out
+
+	qonce     sync.Once
+	qerr      error
+	qwpT, qwT *tensor.QMatrix
 }
 
 func newSAGEPoolLayer(seed int64, in, out int, act bool) *sagePoolLayer {
@@ -391,6 +403,10 @@ type ginLayer struct {
 	once    sync.Once
 	w1      *tensor.Matrix // in×out, lazily materialized
 	w2      *tensor.Matrix // out×out
+
+	qonce      sync.Once
+	qerr       error
+	qw1T, qw2T *tensor.QMatrix
 }
 
 func newGINLayer(seed int64, in, out int, act bool) *ginLayer {
@@ -472,6 +488,10 @@ type gatLayer struct {
 	once    sync.Once
 	w       *tensor.Matrix // in×out, lazily materialized
 	al, ar  []float32      // out each
+
+	qonce sync.Once
+	qerr  error
+	qwT   *tensor.QMatrix
 }
 
 func newGATLayer(seed int64, in, out int, act bool) *gatLayer {
@@ -594,6 +614,10 @@ type sageMeanLayer struct {
 	seed    int64
 	once    sync.Once
 	w       *tensor.Matrix // 2in×out, lazily materialized
+
+	qonce sync.Once
+	qerr  error
+	qwT   *tensor.QMatrix
 }
 
 func newSAGEMeanLayer(seed int64, in, out int, act bool) *sageMeanLayer {

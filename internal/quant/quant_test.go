@@ -42,6 +42,32 @@ func TestDegreeBasedClamps(t *testing.T) {
 	}
 }
 
+// Degenerate graph shapes on the hot path: a single vertex is its own
+// quantile for any nonzero quantile, and a star quantizes every leaf at
+// threshold 1 while the hub stays full precision.
+func TestDegreeBasedDegenerateGraphs(t *testing.T) {
+	solo := DegreeBased(graph.NewProfile("solo", []int32{5}), 0.5)
+	if solo.DegreeThreshold != 5 || solo.QuantizedFraction != 1 {
+		t.Fatalf("single vertex: %+v", solo)
+	}
+	if solo.AvgBytes() != 1 {
+		t.Fatalf("single vertex AvgBytes = %v, want 1", solo.AvgBytes())
+	}
+
+	degs := make([]int32, 16)
+	for i := range degs {
+		degs[i] = 1
+	}
+	degs[0] = 15 // the hub
+	star := DegreeBased(graph.NewProfile("star", degs), 0.9)
+	if star.DegreeThreshold != 1 {
+		t.Fatalf("star threshold = %d, want 1", star.DegreeThreshold)
+	}
+	if f := star.QuantizedFraction; f != 15.0/16 {
+		t.Fatalf("star fraction = %v, want 15/16", f)
+	}
+}
+
 func TestTiesIncluded(t *testing.T) {
 	// Many vertices share the threshold degree: all of them quantize.
 	p := graph.NewProfile("t", []int32{2, 2, 2, 2, 9, 9})

@@ -54,7 +54,7 @@ func TestMicroBatchBitIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
-		if err := json.NewEncoder(&buf).Encode(inferResponse{Model: "gcn", Embeddings: rows}); err != nil {
+		if err := json.NewEncoder(&buf).Encode(inferResponse{Model: "gcn", Precision: "fp32", Embeddings: rows}); err != nil {
 			t.Fatal(err)
 		}
 		want[i] = buf.Bytes()

@@ -60,3 +60,53 @@ func BenchmarkServeUnbatched(b *testing.B) {
 func BenchmarkServeBatched(b *testing.B) {
 	benchServe(b, Config{MaxBatch: 16, BatchWindow: time.Millisecond})
 }
+
+// benchServeHeavy is benchServe on an aggregation-dominated workload — a
+// dense graph with wide features, the regime the int8 tier targets. The
+// fp32/int8 pair below shares this workload so their margin isolates the
+// precision switch.
+func benchServeHeavy(b *testing.B, precision string) {
+	cfg := Config{MaxBatch: 16, BatchWindow: time.Millisecond, DefaultPrecision: precision}
+	cfg.Sim = testSim(b)
+	s := New(cfg)
+	defer s.Close()
+
+	req := testGraph(42, 256, 192, 64)
+	body, err := json.Marshal(inferBody{
+		Model: "gcn", Dims: []int{64, 32, 8}, NumVertices: req.NumVertices,
+		Edges: req.Edges, Features: req.Features,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rec := do(b, s, "POST", "/v1/infer", string(body)); rec.Code != 200 {
+		b.Fatalf("warmup: %d %s", rec.Code, rec.Body.String())
+	}
+
+	b.SetParallelism(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r := httptest.NewRequest("POST", "/v1/infer", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, r)
+			if rec.Code != 200 {
+				b.Errorf("code %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServeBatchedHeavy is the float32 reference for the int8 serving
+// comparison committed to BENCH_pr7.json.
+func BenchmarkServeBatchedHeavy(b *testing.B) {
+	benchServeHeavy(b, "fp32")
+}
+
+// BenchmarkServeBatchedHeavyInt8 runs the identical workload through the
+// quantized tier (server-default precision int8).
+func BenchmarkServeBatchedHeavyInt8(b *testing.B) {
+	benchServeHeavy(b, "int8")
+}

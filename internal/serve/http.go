@@ -29,11 +29,15 @@ type inferBody struct {
 	// TimeoutMS is the per-request deadline; it maps to context
 	// cancellation through core.ForwardContext. 0 means no extra deadline.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Precision selects the execution tier: "" (the server's default
+	// precision), "fp32", or "int8". Unknown values are 400 bad_input.
+	Precision string `json:"precision,omitempty"`
 }
 
 // inferResponse is the POST /v1/infer success payload.
 type inferResponse struct {
 	Model      string      `json:"model"`
+	Precision  string      `json:"precision"`
 	Embeddings [][]float32 `json:"embeddings"`
 }
 
@@ -188,7 +192,17 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	entry, err := s.session(body.Model, body.Dims)
+	// Normalize the precision before the cache lookup so "", the server
+	// default, and an explicit "fp32" all share one session. Unknown
+	// values flow into NewSessionPrecision, whose typed error maps to 400.
+	precision := body.Precision
+	if precision == "" {
+		precision = s.cfg.DefaultPrecision
+	}
+	if precision == "" {
+		precision = "fp32"
+	}
+	entry, err := s.session(body.Model, body.Dims, precision)
 	if err != nil {
 		s.writeMapped(w, err)
 		return
@@ -218,7 +232,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			s.writeMapped(w, res.err)
 			return
 		}
-		writeJSON(w, http.StatusOK, inferResponse{Model: entry.sess.Model(), Embeddings: res.rows})
+		writeJSON(w, http.StatusOK, inferResponse{Model: entry.sess.Model(), Precision: entry.sess.Precision(), Embeddings: res.rows})
 	case <-ctx.Done():
 		s.writeMapped(w, ctx.Err())
 	}

@@ -38,13 +38,24 @@ func (h *histogram) observe(d time.Duration) {
 	h.samples.Add(1)
 }
 
+// sessionPrecision is one cached session's precision statistics, exposed as
+// per-session gauges so operators can see what precision each cached
+// session runs at (internal/quant.Plan footprint semantics: compression is
+// bytes versus full float32, avgBytes the average bytes per weight element).
+type sessionPrecision struct {
+	precision   string
+	compression float64
+	avgBytes    float64
+}
+
 // Metrics holds the server's counters. All fields are safe for concurrent
 // use; Render emits them in Prometheus text exposition format with
 // deterministic ordering.
 type Metrics struct {
 	mu       sync.Mutex
-	requests map[string]*atomic.Int64 // "endpoint|code" → count
-	latency  map[string]*histogram    // endpoint → latency histogram
+	requests map[string]*atomic.Int64    // "endpoint|code" → count
+	latency  map[string]*histogram       // endpoint → latency histogram
+	sessions map[string]sessionPrecision // session key → precision gauges
 
 	// Batches counts executed micro-batches; BatchedRequests counts the
 	// requests they carried (ratio = mean batch size).
@@ -64,7 +75,23 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		requests: make(map[string]*atomic.Int64),
 		latency:  make(map[string]*histogram),
+		sessions: make(map[string]sessionPrecision),
 	}
+}
+
+// SetSessionPrecision registers (or refreshes) one cached session's
+// precision gauges under its cache key.
+func (m *Metrics) SetSessionPrecision(key, precision string, compression, avgBytes float64) {
+	m.mu.Lock()
+	m.sessions[key] = sessionPrecision{precision: precision, compression: compression, avgBytes: avgBytes}
+	m.mu.Unlock()
+}
+
+// DeleteSessionPrecision drops an evicted session's gauges.
+func (m *Metrics) DeleteSessionPrecision(key string) {
+	m.mu.Lock()
+	delete(m.sessions, key)
+	m.mu.Unlock()
 }
 
 // ObserveRequest records one finished request: its endpoint, the HTTP status
@@ -139,6 +166,26 @@ func (m *Metrics) Render(w io.Writer, liveSessions int) {
 	counter("scale_serve_sessions_created_total", "Sessions constructed by the cache.", m.SessionsCreated.Load())
 	counter("scale_serve_sessions_evicted_total", "Sessions evicted by the cache.", m.SessionsEvicted.Load())
 	fmt.Fprintf(w, "# HELP scale_serve_sessions_live Sessions currently cached.\n# TYPE scale_serve_sessions_live gauge\nscale_serve_sessions_live %d\n", liveSessions)
+
+	m.mu.Lock()
+	sessKeys := make([]string, 0, len(m.sessions))
+	for k := range m.sessions {
+		sessKeys = append(sessKeys, k)
+	}
+	sort.Strings(sessKeys)
+	fmt.Fprintln(w, "# HELP scale_serve_session_quant_compression Weight-footprint ratio vs full float32 per cached session (1 = fp32, 0.25 = fully int8).")
+	fmt.Fprintln(w, "# TYPE scale_serve_session_quant_compression gauge")
+	for _, k := range sessKeys {
+		sp := m.sessions[k]
+		fmt.Fprintf(w, "scale_serve_session_quant_compression{session=%q,precision=%q} %g\n", k, sp.precision, sp.compression)
+	}
+	fmt.Fprintln(w, "# HELP scale_serve_session_quant_avg_bytes Average bytes per weight element per cached session.")
+	fmt.Fprintln(w, "# TYPE scale_serve_session_quant_avg_bytes gauge")
+	for _, k := range sessKeys {
+		sp := m.sessions[k]
+		fmt.Fprintf(w, "scale_serve_session_quant_avg_bytes{session=%q,precision=%q} %g\n", k, sp.precision, sp.avgBytes)
+	}
+	m.mu.Unlock()
 
 	fmt.Fprintln(w, "# HELP scale_serve_request_seconds Request latency by endpoint.")
 	fmt.Fprintln(w, "# TYPE scale_serve_request_seconds histogram")

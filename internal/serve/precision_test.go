@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// decodeInfer unmarshals a 200 infer response.
+func decodeInfer(t testing.TB, body []byte) inferResponse {
+	t.Helper()
+	var resp inferResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("infer body %q: %v", body, err)
+	}
+	return resp
+}
+
+// The precision field selects the execution tier per request: fp32 and ""
+// share one cached session, int8 gets its own, and unknown values are typed
+// 400s that never reach the cache.
+func TestInferPrecisionSessions(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := validInfer()
+
+	rec := do(t, s, "POST", "/v1/infer", req)
+	if rec.Code != 200 {
+		t.Fatalf("default precision: %d %s", rec.Code, rec.Body.String())
+	}
+	if got := decodeInfer(t, rec.Body.Bytes()).Precision; got != "fp32" {
+		t.Fatalf("default precision reported %q, want fp32", got)
+	}
+
+	explicit := req
+	explicit.Precision = "fp32"
+	if rec := do(t, s, "POST", "/v1/infer", explicit); rec.Code != 200 {
+		t.Fatalf("explicit fp32: %d %s", rec.Code, rec.Body.String())
+	}
+	if n := s.LiveSessions(); n != 1 {
+		t.Fatalf("fp32 and \"\" should share one session, have %d", n)
+	}
+
+	quantized := req
+	quantized.Precision = "int8"
+	rec = do(t, s, "POST", "/v1/infer", quantized)
+	if rec.Code != 200 {
+		t.Fatalf("int8: %d %s", rec.Code, rec.Body.String())
+	}
+	if got := decodeInfer(t, rec.Body.Bytes()).Precision; got != "int8" {
+		t.Fatalf("int8 precision reported %q", got)
+	}
+	if n := s.LiveSessions(); n != 2 {
+		t.Fatalf("int8 should key its own session, have %d sessions", n)
+	}
+
+	bad := req
+	bad.Precision = "fp64"
+	rec = do(t, s, "POST", "/v1/infer", bad)
+	if rec.Code != 400 || decodeError(t, rec).Kind != "bad_input" {
+		t.Fatalf("unknown precision: %d %s", rec.Code, rec.Body.String())
+	}
+	if n := s.LiveSessions(); n != 2 {
+		t.Fatalf("rejected precision must not create a session, have %d", n)
+	}
+}
+
+// Config.DefaultPrecision applies to requests without a precision field and
+// is overridable per request.
+func TestInferDefaultPrecision(t *testing.T) {
+	s := newTestServer(t, Config{DefaultPrecision: "int8"})
+	rec := do(t, s, "POST", "/v1/infer", validInfer())
+	if rec.Code != 200 {
+		t.Fatalf("default int8: %d %s", rec.Code, rec.Body.String())
+	}
+	if got := decodeInfer(t, rec.Body.Bytes()).Precision; got != "int8" {
+		t.Fatalf("server default not applied: precision %q", got)
+	}
+	override := validInfer()
+	override.Precision = "fp32"
+	rec = do(t, s, "POST", "/v1/infer", override)
+	if rec.Code != 200 {
+		t.Fatalf("fp32 override: %d %s", rec.Code, rec.Body.String())
+	}
+	if got := decodeInfer(t, rec.Body.Bytes()).Precision; got != "fp32" {
+		t.Fatalf("per-request override lost: precision %q", got)
+	}
+}
+
+// Quantized serving must approximate the float tier: same request, both
+// precisions, small relative error. The tight per-layer bound lives in the
+// core accuracy harness; this pins the end-to-end wiring (the int8 session
+// really dispatches quantized kernels, yet stays close to fp32).
+func TestInferInt8ApproximatesFp32(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := testGraph(7, 24, 4, 8)
+	body := inferBody{Model: "gcn", Dims: []int{8, 16, 4}, NumVertices: req.NumVertices, Edges: req.Edges, Features: req.Features}
+
+	rec := do(t, s, "POST", "/v1/infer", body)
+	if rec.Code != 200 {
+		t.Fatalf("fp32: %d %s", rec.Code, rec.Body.String())
+	}
+	ref := decodeInfer(t, rec.Body.Bytes()).Embeddings
+
+	body.Precision = "int8"
+	rec = do(t, s, "POST", "/v1/infer", body)
+	if rec.Code != 200 {
+		t.Fatalf("int8: %d %s", rec.Code, rec.Body.String())
+	}
+	got := decodeInfer(t, rec.Body.Bytes()).Embeddings
+
+	var maxRef, maxDiff float64
+	for v := range ref {
+		for j := range ref[v] {
+			if a := math.Abs(float64(ref[v][j])); a > maxRef {
+				maxRef = a
+			}
+			if d := math.Abs(float64(ref[v][j] - got[v][j])); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	if maxDiff > 0.08*maxRef+1e-5 {
+		t.Fatalf("int8 serving error %g vs max ref %g", maxDiff, maxRef)
+	}
+	if maxDiff == 0 {
+		t.Fatal("int8 output bit-identical to fp32 — quantized path not engaged")
+	}
+}
+
+// /metrics exposes per-session precision gauges (internal/quant.Plan
+// footprint statistics) and drops them with the session.
+func TestMetricsSessionPrecisionGauges(t *testing.T) {
+	s := newTestServer(t, Config{MaxSessions: 1})
+	req := validInfer()
+	req.Precision = "int8"
+	if rec := do(t, s, "POST", "/v1/infer", req); rec.Code != 200 {
+		t.Fatalf("int8: %d %s", rec.Code, rec.Body.String())
+	}
+	text := do(t, s, "GET", "/metrics", nil).Body.String()
+	wantComp := `scale_serve_session_quant_compression{session="gin/2/3/int8",precision="int8"} 0.25`
+	wantBytes := `scale_serve_session_quant_avg_bytes{session="gin/2/3/int8",precision="int8"} 1`
+	if !strings.Contains(text, wantComp) || !strings.Contains(text, wantBytes) {
+		t.Fatalf("metrics missing int8 session gauges:\n%s", text)
+	}
+
+	// MaxSessions 1: an fp32 request evicts the int8 session and its gauges.
+	if rec := do(t, s, "POST", "/v1/infer", validInfer()); rec.Code != 200 {
+		t.Fatalf("fp32: %d %s", rec.Code, rec.Body.String())
+	}
+	text = do(t, s, "GET", "/metrics", nil).Body.String()
+	if strings.Contains(text, `session="gin/2/3/int8"`) {
+		t.Fatalf("evicted session's gauges still exposed:\n%s", text)
+	}
+	if !strings.Contains(text, `scale_serve_session_quant_compression{session="gin/2/3/fp32",precision="fp32"} 1`) {
+		t.Fatalf("metrics missing fp32 session gauge:\n%s", text)
+	}
+}

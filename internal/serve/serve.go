@@ -56,6 +56,11 @@ type Config struct {
 	MaxVertices int
 	// RetryAfter is the Retry-After hint on 429/503 answers (default 1s).
 	RetryAfter time.Duration
+	// DefaultPrecision is the execution precision applied to infer
+	// requests that do not carry a "precision" field: "" or "fp32" (the
+	// default float32 tier) or "int8" (quantized). Requests can always
+	// override it per call.
+	DefaultPrecision string
 	// Backend overrides batch execution (tests inject faults); the default
 	// is (*scale.Session).InferBatch.
 	Backend Backend
@@ -188,6 +193,7 @@ func (s *Server) Close() {
 	for k, e := range s.sessions {
 		entries = append(entries, e)
 		delete(s.sessions, k)
+		s.metrics.DeleteSessionPrecision(k)
 	}
 	s.mu.Unlock()
 	for _, e := range entries {
@@ -203,12 +209,12 @@ func (s *Server) LiveSessions() int {
 	return len(s.sessions)
 }
 
-// session returns the cached entry for (model, dims), constructing it (and
-// evicting the least-recently-used entry if the cache is full) on miss. On
-// success the entry holds one ref for the caller, who must release it with
-// entry.refs.Done() once its submit has completed.
-func (s *Server) session(model string, dims []int) (*sessionEntry, error) {
-	key := sessionKey(model, dims)
+// session returns the cached entry for (model, dims, precision),
+// constructing it (and evicting the least-recently-used entry if the cache
+// is full) on miss. On success the entry holds one ref for the caller, who
+// must release it with entry.refs.Done() once its submit has completed.
+func (s *Server) session(model string, dims []int, precision string) (*sessionEntry, error) {
+	key := sessionKey(model, dims, precision)
 	s.mu.Lock()
 	if e, ok := s.sessions[key]; ok {
 		e.lastUse.Store(s.useSeq.Add(1))
@@ -218,10 +224,11 @@ func (s *Server) session(model string, dims []int) (*sessionEntry, error) {
 	}
 	s.mu.Unlock()
 
-	// Build outside the lock: model construction does real work and must
-	// not serialize unrelated traffic. A racing duplicate build is benign —
-	// sessions are deterministic — and the map insert below deduplicates.
-	sess, err := s.cfg.Sim.NewSession(model, dims)
+	// Build outside the lock: model construction (and, for int8 sessions,
+	// one-time weight quantization) does real work and must not serialize
+	// unrelated traffic. A racing duplicate build is benign — sessions are
+	// deterministic — and the map insert below deduplicates.
+	sess, err := s.cfg.Sim.NewSessionPrecision(model, dims, precision)
 	if err != nil {
 		return nil, err
 	}
@@ -249,6 +256,8 @@ func (s *Server) session(model string, dims []int) (*sessionEntry, error) {
 	e.refs.Add(1)
 	s.sessions[key] = e
 	s.metrics.SessionsCreated.Add(1)
+	compression, avgBytes := sess.PrecisionStats()
+	s.metrics.SetSessionPrecision(key, sess.Precision(), compression, avgBytes)
 	s.batchers.Add(1)
 	go func() {
 		defer s.batchers.Done()
@@ -273,16 +282,20 @@ func (s *Server) evictLocked() {
 	}
 	delete(s.sessions, victim.key)
 	s.metrics.SessionsEvicted.Add(1)
+	s.metrics.DeleteSessionPrecision(victim.key)
 	go func() {
 		victim.refs.Wait()
 		close(victim.b.quit)
 	}()
 }
 
-func sessionKey(model string, dims []int) string {
+// sessionKey renders the cache key. handleInfer normalizes the precision
+// (request field, then Config.DefaultPrecision, then "fp32") before lookup,
+// so "" never reaches the key and equivalent requests share one session.
+func sessionKey(model string, dims []int, precision string) string {
 	key := model
 	for _, d := range dims {
 		key += "/" + strconv.Itoa(d)
 	}
-	return key
+	return key + "/" + precision
 }

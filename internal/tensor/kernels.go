@@ -89,27 +89,63 @@ func matMulRowsInto(out, a, b *Matrix, lo, hi int) {
 				kend = b.Rows
 			}
 			for i := lo; i < hi; i++ {
-				arow := a.Row(i)
+				arow := a.Row(i)[kb:kend]
 				orow := out.Row(i)[jb:jend]
-				for k := kb; k < kend; k++ {
-					av := arow[k]
+				for kk, av := range arow {
 					if av == 0 {
 						continue
 					}
-					axpyRow(orow, av, b.Row(k)[jb:jend])
+					axpyRow(orow, av, b.Row(kb + kk)[jb:jend])
 				}
 			}
 		}
 	}
 }
 
-// axpyRow computes o += alpha*brow over equal-length rows; the length hint
-// lets the compiler elide bounds checks in the hot loop.
+// axpyRow computes o += alpha*brow over equal-length rows, 4-way unrolled in
+// the slice-advance form (`len(x) >= 4` guard + constant indices + `x[4:]`
+// step) — the one idiom Go 1.24's prove pass reduces to zero IsInBounds
+// checks (verified by `make bce`; an index-offset unroll like `o[j+1]` is
+// NOT eliminated). Each element is touched exactly once, so unrolling cannot
+// reorder any float addition — results stay bit-identical to the rolled
+// loop.
 func axpyRow(o []float32, alpha float32, brow []float32) {
+	o = o[:len(brow)]
+	for len(brow) >= 4 && len(o) >= 4 {
+		o[0] += alpha * brow[0]
+		o[1] += alpha * brow[1]
+		o[2] += alpha * brow[2]
+		o[3] += alpha * brow[3]
+		o = o[4:]
+		brow = brow[4:]
+	}
 	o = o[:len(brow)]
 	for j, bv := range brow {
 		o[j] += alpha * bv
 	}
+}
+
+// dotF32 returns the float32 inner product of equal-length vectors, 4-way
+// unrolled in the bounds-check-free slice-advance form (see axpyRow). The
+// unroll keeps ONE sequential accumulator — s += t0; s += t1; … — because
+// float addition is not associative: multiple accumulators would change the
+// rounding and break the repo-wide bit-identity contract.
+func dotF32(a, b []float32) float32 {
+	b = b[:len(a)]
+	var s float32
+	for len(a) >= 4 && len(b) >= 4 {
+		s += a[0] * b[0]
+		s += a[1] * b[1]
+		s += a[2] * b[2]
+		s += a[3] * b[3]
+		a = a[4:]
+		b = b[4:]
+	}
+	b = b[:len(a)]
+	for j, av := range a {
+		s += av * b[j]
+	}
+	return s
 }
 
 // VecMatInto computes out = xᵀ·a without allocating. out must have length
@@ -142,7 +178,7 @@ func MatVecInto(out []float32, a *Matrix, x []float32) {
 		panic(fmt.Sprintf("tensor: matvec out %d, want %d", len(out), a.Rows))
 	}
 	for i := range out {
-		out[i] = Dot(a.Row(i), x)
+		out[i] = dotF32(a.Row(i), x)
 	}
 }
 
@@ -152,6 +188,7 @@ func AddInto(out, a, b []float32) {
 	if len(a) != len(b) || len(out) != len(a) {
 		panic(fmt.Sprintf("tensor: add %d + %d into %d", len(a), len(b), len(out)))
 	}
+	a, b = a[:len(out)], b[:len(out)]
 	for i := range out {
 		out[i] = a[i] + b[i]
 	}
@@ -163,6 +200,7 @@ func HadamardInto(out, a, b []float32) {
 	if len(a) != len(b) || len(out) != len(a) {
 		panic(fmt.Sprintf("tensor: hadamard %d ⊙ %d into %d", len(a), len(b), len(out)))
 	}
+	a, b = a[:len(out)], b[:len(out)]
 	for i := range out {
 		out[i] = a[i] * b[i]
 	}

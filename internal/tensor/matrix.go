@@ -1,24 +1,41 @@
 // Package tensor provides the dense linear-algebra substrate used by the
 // golden GNN reference executor and the functional accelerator models.
 //
-// Everything is float32 (the paper evaluates IEEE 754 single precision) and
-// row-major. The package is a small kernel layer with an explicit selection
-// policy rather than a BLAS:
+// The default tier is float32 (the paper evaluates IEEE 754 single
+// precision), row-major; an opt-in int8 tier (QMatrix / QSumMatrix) backs
+// the quantized execution path. The package is a small kernel layer with an
+// explicit selection policy rather than a BLAS:
 //
 //   - Every allocating op (MatMul, VecMat, Add, …) is a thin wrapper over an
 //     allocation-free Into variant (MatMulInto, VecMatInto, AddInto, …); hot
 //     loops call the Into kernels with caller-owned scratch so steady-state
 //     execution performs no heap allocation.
-//   - GEMM selects its kernel by operand size: while the streamed weight
-//     matrix stays cache-resident (≤ gemmStreamFloats) the plain ikj loop
-//     wins, and larger matrices (Reddit/Yelp/Nell feature dims) switch to
-//     k×j-blocked panels that keep a gemmBlockK×gemmBlockJ tile of b hot.
-//     Both kernels visit the inner dimension in ascending order for every
-//     output element, so kernel selection never changes results bit-wise.
-//   - Row-level parallelism is explicit: ParallelMatMul / ParallelMatMulInto
-//     and the ParallelRows helper fan disjoint row ranges across a bounded
-//     worker count, which is bit-identical to the serial sweep by
-//     construction (each row is produced by the same serial kernel).
+//   - Float32 GEMM selects its kernel by the streamed operand's size: while
+//     b fits in gemmStreamFloats (32 Ki floats, 128 KiB — comfortably
+//     cache-resident) the plain ikj loop wins, and larger matrices
+//     (Reddit/Yelp/Nell feature dims) switch to k×j-blocked panels that
+//     keep a gemmBlockK×gemmBlockJ (128×256) tile of b hot. Both kernels
+//     visit the inner dimension in ascending order for every output
+//     element, so kernel selection never changes results bit-wise.
+//   - Int8 GEMM (QMatMulInto / QGemvInto) multiplies a quantized activation
+//     QMatrix against a pre-transposed quantized weight matrix with int32
+//     accumulation, processing bT rows in qgemmBlockJ (32-row) panels;
+//     dequantization (scaleA·scaleB per element) happens once at the output
+//     boundary. The aggregation side uses the shared-scale QSumMatrix
+//     layout: AccRowChain folds biased bytes into SWAR uint64 lanes,
+//     FlushChain subtracts the accumulated bias and rescales, and QAxpyRow
+//     is the per-edge scalar fallback.
+//   - Row-level parallelism is explicit: ParallelMatMul / ParallelMatMulInto,
+//     ParallelQMatMulInto, ParallelQuantizeScaledInto and the ParallelRows
+//     helper fan disjoint row ranges across a bounded worker count. The
+//     float32 kernels are bit-identical to the serial sweep by construction
+//     (each row is produced by the same serial kernel); the int8 kernels
+//     are exactly identical regardless of worker count because int32
+//     accumulation is associative.
+//
+// The hot-loop files (kernels.go, quant.go) are kept bounds-check-free —
+// every inner loop is shaped so the compiler proves indices in range;
+// `make bce` enforces this via -d=ssa/check_bce.
 package tensor
 
 import (

@@ -1,0 +1,268 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Per-row symmetric max-abs quantization bounds the round-trip error of every
+// element by half a quantization step: |x - dequant(quant(x))| ≤ scale/2 =
+// maxabs(row)/254.
+func TestQuantizeRoundTripBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := RandomMatrix(rng, 40, 37, 3)
+	q := NewQMatrix(m.Rows, m.Cols)
+	if err := QuantizeInto(q, m); err != nil {
+		t.Fatal(err)
+	}
+	back := NewMatrix(m.Rows, m.Cols)
+	DequantizeInto(back, q)
+	for i := 0; i < m.Rows; i++ {
+		bound := q.Scales[i] / 2 * (1 + 1e-6)
+		for j, v := range m.Row(i) {
+			got := back.Row(i)[j]
+			if diff := float64(v - got); math.Abs(diff) > float64(bound) {
+				t.Fatalf("row %d col %d: |%g - %g| = %g > scale/2 = %g",
+					i, j, v, got, math.Abs(diff), bound)
+			}
+		}
+	}
+}
+
+func TestQuantizeRowZeroAndExtremes(t *testing.T) {
+	q := make([]int8, 4)
+	s, err := QuantizeRowInto(q, []float32{0, 0, 0, 0})
+	if err != nil || s != 0 {
+		t.Fatalf("zero row: scale %g err %v, want 0 nil", s, err)
+	}
+	for _, v := range q {
+		if v != 0 {
+			t.Fatalf("zero row quantized to %v", q)
+		}
+	}
+	// The max-abs element must hit exactly ±127.
+	s, err = QuantizeRowInto(q, []float32{-2, 1, 0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[0] != -127 || q[3] != 127 {
+		t.Fatalf("extremes: got %v, want ±127 at ends", q)
+	}
+	if s != 2.0/127 {
+		t.Fatalf("scale %g, want %g", s, 2.0/127)
+	}
+}
+
+func TestQuantizeRejectsNonFinite(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	for _, row := range [][]float32{
+		{1, nan, 2},
+		{inf, 0},
+		{float32(math.Inf(-1))},
+		{0, 0, nan}, // NaN with zero maxabs path
+	} {
+		if _, err := QuantizeRowInto(make([]int8, len(row)), row); !errors.Is(err, ErrNonFinite) {
+			t.Fatalf("row %v: err %v, want ErrNonFinite", row, err)
+		}
+	}
+	m := NewMatrix(2, 2)
+	m.Set(1, 1, nan)
+	if err := QuantizeInto(NewQMatrix(2, 2), m); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("QuantizeInto: err %v, want ErrNonFinite", err)
+	}
+}
+
+// The int8 GEMM must agree exactly with a naive triple loop over the same
+// quantized operands: int32 accumulation is exact, so blocking/unrolling is
+// not allowed to change a single bit.
+func TestQMatMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, shape := range [][3]int{{1, 1, 1}, {3, 5, 2}, {17, 33, 9}, {40, 130, 70}} {
+		m, k, n := shape[0], shape[1], shape[2]
+		a := RandomMatrix(rng, m, k, 2)
+		b := RandomMatrix(rng, k, n, 2)
+		qa, err := Quantize(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qbT, err := QuantizeTransposed(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := NewMatrix(m, n)
+		QMatMulInto(got, qa, qbT)
+
+		want := NewMatrix(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var acc int32
+				for kk := 0; kk < k; kk++ {
+					acc += int32(qa.Row(i)[kk]) * int32(qbT.Row(j)[kk])
+				}
+				want.Set(i, j, qa.Scales[i]*qbT.Scales[j]*float32(acc))
+			}
+		}
+		if !got.Equal(want) {
+			t.Fatalf("shape %v: QMatMulInto differs from naive int8 reference", shape)
+		}
+
+		par := NewMatrix(m, n)
+		ParallelQMatMulInto(par, qa, qbT, 8)
+		if !par.Equal(want) {
+			t.Fatalf("shape %v: ParallelQMatMulInto differs from serial", shape)
+		}
+
+		for i := 0; i < m; i++ {
+			row := make([]float32, n)
+			QGemvInto(row, qa.Row(i), qa.Scales[i], qbT)
+			for j, v := range row {
+				if v != want.At(i, j) {
+					t.Fatalf("shape %v: QGemvInto row %d differs", shape, i)
+				}
+			}
+		}
+	}
+}
+
+// Quantized GEMM approximates the float product: relative error (vs the max
+// magnitude of the float result) stays within the two-sided quantization
+// noise, conservatively ~2/127 per operand plus accumulation.
+func TestQMatMulApproximatesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := RandomMatrix(rng, 25, 60, 1)
+	b := RandomMatrix(rng, 60, 18, 1)
+	qa, _ := Quantize(a)
+	qbT, _ := QuantizeTransposed(b)
+	got := NewMatrix(25, 18)
+	QMatMulInto(got, qa, qbT)
+	want := MatMul(a, b)
+
+	var maxRef float64
+	for _, v := range want.Data {
+		if m := math.Abs(float64(v)); m > maxRef {
+			maxRef = m
+		}
+	}
+	if diff := float64(got.MaxAbsDiff(want)); diff > 0.03*maxRef {
+		t.Fatalf("int8 GEMM error %g vs max |ref| %g exceeds 3%%", diff, maxRef)
+	}
+}
+
+func TestQAxpyRowMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range []int{1, 3, 4, 7, 64, 129} {
+		q := make([]int8, n)
+		for i := range q {
+			q[i] = int8(rng.Intn(255) - 127)
+		}
+		got := RandomVector(rng, n, 1)
+		want := append([]float32(nil), got...)
+		const alpha = 0.37
+		QAxpyRow(got, alpha, q)
+		for i := range want {
+			want[i] += alpha * float32(q[i])
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: QAxpyRow[%d] = %g, want %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// The unrolled float32 kernels must be bit-identical to their rolled forms:
+// dotF32 keeps one sequential accumulator, axpyRow touches each element
+// once. Odd lengths exercise the unroll tails.
+func TestUnrolledKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range []int{1, 2, 3, 4, 5, 31, 64, 127} {
+		a := RandomVector(rng, n, 1)
+		b := RandomVector(rng, n, 1)
+		var s float32
+		for i, v := range a {
+			s += v * b[i]
+		}
+		if got := dotF32(a, b); got != s {
+			t.Fatalf("n=%d: dotF32 = %g, rolled = %g", n, got, s)
+		}
+
+		o := RandomVector(rng, n, 1)
+		want := append([]float32(nil), o...)
+		axpyRow(o, 0.7, a)
+		for i, v := range a {
+			want[i] += 0.7 * v
+		}
+		for i := range want {
+			if o[i] != want[i] {
+				t.Fatalf("n=%d: axpyRow[%d] = %g, want %g", n, i, o[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQMatrixResize(t *testing.T) {
+	q := NewQMatrix(4, 8)
+	data, scales := &q.Data[0], &q.Scales[0]
+	q.Resize(2, 3)
+	if q.Rows != 2 || q.Cols != 3 || len(q.Data) != 6 || len(q.Scales) != 2 {
+		t.Fatalf("shrink: %+v", q)
+	}
+	if &q.Data[0] != data || &q.Scales[0] != scales {
+		t.Fatal("shrink reallocated")
+	}
+	q.Resize(10, 10)
+	if len(q.Data) != 100 || len(q.Scales) != 10 {
+		t.Fatalf("grow: %+v", q)
+	}
+}
+
+// FuzzQuantRoundTrip feeds arbitrary bytes as float32 rows: non-finite
+// inputs must be rejected with ErrNonFinite, finite inputs must round-trip
+// within scale/2 per element and produce only finite dequantized values.
+func FuzzQuantRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 128, 63})         // {0, 1}
+	f.Add([]byte{0, 0, 192, 127})                    // NaN
+	f.Add([]byte{0, 0, 128, 255, 0, 0, 128, 63})     // {-Inf, 1}
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}) // ragged tail ignored
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := len(raw) / 4
+		if n == 0 {
+			return
+		}
+		row := make([]float32, n)
+		finite := true
+		for i := 0; i < n; i++ {
+			row[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+			if math.IsNaN(float64(row[i])) || math.IsInf(float64(row[i]), 0) {
+				finite = false
+			}
+		}
+		q := make([]int8, n)
+		scale, err := QuantizeRowInto(q, row)
+		if !finite {
+			if !errors.Is(err, ErrNonFinite) {
+				t.Fatalf("non-finite row %v: err %v, want ErrNonFinite", row, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("finite row %v: %v", row, err)
+		}
+		// float32 maxabs/127 can round subnormal scales to 0 only for an
+		// all-zero row; otherwise the bound must hold.
+		bound := float64(scale) / 2 * (1 + 1e-6)
+		for i, v := range row {
+			back := float64(scale) * float64(q[i])
+			if math.IsNaN(back) || math.IsInf(back, 0) {
+				t.Fatalf("dequantized non-finite %g from %g", back, v)
+			}
+			if diff := math.Abs(float64(v) - back); diff > bound && bound > 0 {
+				t.Fatalf("elem %d: |%g - %g| = %g > %g", i, v, back, diff, bound)
+			}
+		}
+	})
+}

@@ -19,6 +19,7 @@ package scale
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"scale/internal/arch"
 	"scale/internal/baseline"
@@ -49,7 +50,35 @@ type Options struct {
 // Simulator runs GNN workloads through the SCALE accelerator model.
 type Simulator struct {
 	accel *core.SCALE
+
+	// int8Accel is the quantized-execution twin: the same hardware
+	// configuration with Precision int8, built lazily on the first int8
+	// session so fp32-only processes never pay for it. A separate SCALE
+	// value means a separate forward-state pool — precision tiers never
+	// share scratch.
+	int8Once  sync.Once
+	int8Accel *core.SCALE
+	int8Err   error
 }
+
+// accelFor resolves the accelerator backing the given precision.
+func (s *Simulator) accelFor(p core.Precision) (*core.SCALE, error) {
+	if p != core.PrecisionInt8 {
+		return s.accel, nil
+	}
+	s.int8Once.Do(func() {
+		cfg := s.accel.Config()
+		cfg.Precision = core.PrecisionInt8
+		s.int8Accel, s.int8Err = core.New(cfg)
+	})
+	return s.int8Accel, s.int8Err
+}
+
+// Precisions lists the execution precisions a Session accepts: "fp32" (the
+// default — bit-identical to prior releases) and "int8" (quantized weights
+// and aggregation; see the README's Precision section for the accuracy
+// contract).
+func Precisions() []string { return []string{"fp32", "int8"} }
 
 // New builds a Simulator.
 func New(opts Options) (*Simulator, error) {

@@ -4,42 +4,96 @@ import (
 	"context"
 	"fmt"
 
+	"scale/internal/core"
 	"scale/internal/fault"
 	"scale/internal/gnn"
 	"scale/internal/graph"
+	"scale/internal/quant"
 	"scale/internal/tensor"
 )
 
-// Session pins one (model, dims) inference configuration to a Simulator: the
-// gnn.Model — weight matrices, fused kernels, per-layer seeds — is built once
-// at session creation and reused by every subsequent call, and the underlying
-// accelerator's pooled forward state (schedulers, worker scratch, seen
-// tables) warms up across calls. Simulator.Infer rebuilds all of this per
-// call; a Session amortizes it, which is what makes the serving layer
-// (internal/serve) viable under sustained traffic.
+// Session pins one (model, dims, precision) inference configuration to a
+// Simulator: the gnn.Model — weight matrices, fused kernels, per-layer seeds
+// — is built once at session creation and reused by every subsequent call,
+// and the underlying accelerator's pooled forward state (schedulers, worker
+// scratch, seen tables) warms up across calls. Simulator.Infer rebuilds all
+// of this per call; a Session amortizes it, which is what makes the serving
+// layer (internal/serve) viable under sustained traffic.
 //
 // A Session is safe for concurrent use: the model is immutable after
 // construction and all per-call state lives in the accelerator's sync.Pool.
 type Session struct {
-	sim   *Simulator
-	model *gnn.Model
-	name  string
-	dims  []int
+	accel     *core.SCALE
+	model     *gnn.Model
+	name      string
+	dims      []int
+	precision core.Precision
+	plan      quant.Plan
 }
 
-// NewSession builds the model once and returns a reusable inference session.
-// The dims chain is copied; the session never aliases caller memory.
+// NewSession builds the model once and returns a reusable inference session
+// at the default float32 precision. The dims chain is copied; the session
+// never aliases caller memory.
 func (s *Simulator) NewSession(model string, dims []int) (*Session, error) {
+	return s.NewSessionPrecision(model, dims, "")
+}
+
+// NewSessionPrecision is NewSession with an execution precision: "" or
+// "fp32" selects the float32 tier (bit-identical to NewSession), "int8" the
+// quantized tier. For int8 sessions the quantized weight form of every layer
+// is materialized here, once, so the first request pays no quantization
+// cost; unknown precisions are typed input errors (fault.ErrBadConfig).
+func (s *Simulator) NewSessionPrecision(model string, dims []int, precision string) (*Session, error) {
+	prec, err := core.ParsePrecision(precision)
+	if err != nil {
+		return nil, err
+	}
+	accel, err := s.accelFor(prec)
+	if err != nil {
+		return nil, err
+	}
 	m, err := gnn.NewModel(model, dims, 1)
 	if err != nil {
 		return nil, err
 	}
+	if prec == core.PrecisionInt8 {
+		if err := gnn.QuantizeModel(m); err != nil {
+			return nil, err
+		}
+	}
 	return &Session{
-		sim:   s,
-		model: m,
-		name:  model,
-		dims:  append([]int(nil), dims...),
+		accel:     accel,
+		model:     m,
+		name:      model,
+		dims:      append([]int(nil), dims...),
+		precision: prec,
+		plan:      sessionPlan(m, prec),
 	}, nil
+}
+
+// sessionPlan derives the session's precision-mix statistics as an
+// internal/quant footprint plan over the model's weight elements: the
+// quantized fraction is the share of weight bytes (float32 footprint) held
+// by layers that materialized an int8 form, so Compression/AvgBytes report
+// what the session actually runs — 1.0/4B for fp32 sessions, below that for
+// int8 ones (exactly 0.25/1B when every layer quantizes).
+func sessionPlan(m *gnn.Model, prec core.Precision) quant.Plan {
+	plan := quant.Plan{LowBytes: 1, HighBytes: 4}
+	if prec != core.PrecisionInt8 {
+		return plan
+	}
+	var total, quantized int64
+	for _, l := range m.Layers {
+		wb := l.Work().WeightBytes
+		total += wb
+		if gnn.LayerQuantized(l) {
+			quantized += wb
+		}
+	}
+	if total > 0 {
+		plan.QuantizedFraction = float64(quantized) / float64(total)
+	}
+	return plan
 }
 
 // Model returns the session's model name.
@@ -47,6 +101,17 @@ func (sess *Session) Model() string { return sess.name }
 
 // Dims returns a copy of the session's feature-length chain.
 func (sess *Session) Dims() []int { return append([]int(nil), sess.dims...) }
+
+// Precision returns the session's execution precision ("fp32" or "int8").
+func (sess *Session) Precision() string { return string(sess.precision) }
+
+// PrecisionStats reports the session's weight-footprint statistics:
+// compression is the byte ratio versus full float32 (1 = full precision,
+// 0.25 = fully int8) and avgBytes the average bytes per weight element. The
+// serving layer exposes both as per-session gauges on /metrics.
+func (sess *Session) PrecisionStats() (compression, avgBytes float64) {
+	return sess.plan.Compression(), sess.plan.AvgBytes()
+}
 
 // InferRequest is one graph + feature matrix input to Session inference.
 // Edges are directed src→dst aggregation edges; Features is row-major
@@ -143,7 +208,7 @@ func (sess *Session) InferBatch(ctx context.Context, reqs []InferRequest) ([][][
 	}
 	g := b.Build("user")
 
-	outs, err := sess.sim.accel.ForwardContext(ctx, sess.model, g, x, 0)
+	outs, err := sess.accel.ForwardContext(ctx, sess.model, g, x, 0)
 	if err != nil {
 		return nil, err
 	}
