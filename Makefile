@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint conform race fuzz bce bench bench-serve bench-smoke serve-smoke verify
+.PHONY: build test lint conform race fuzz bce bench bench-serve bench-shard bench-smoke serve-smoke shard-smoke verify
 
 # Tier 1: everything compiles and the full test suite passes.
 build:
@@ -71,7 +71,7 @@ conform:
 race:
 	$(GO) test -race -timeout 10m ./internal/bench/... ./internal/dse/...
 	$(GO) test -race -timeout 10m ./internal/tensor/ ./internal/gnn/ ./internal/core/
-	$(GO) test -race -timeout 10m ./internal/serve/ .
+	$(GO) test -race -timeout 10m ./internal/serve/ ./internal/shard/ .
 
 # Tier 3: short fuzz passes over the parsers (graph edge lists, binary
 # graph decoding, feature matrices, config JSON round-trip).
@@ -102,6 +102,19 @@ bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchmem -count $(BENCH5_COUNT) \
 		./internal/serve | \
 		$(GO) run ./cmd/scale-benchjson -label serve -out BENCH_pr5.json
+
+# Sharded-serving performance tier (DESIGN §4k): one full inference pass at
+# Reddit scale through the HTTP data plane at 1/2/4 shards, fp32 and int8,
+# against the direct single-session baseline, committed to BENCH_pr8.json.
+# Each sharded benchmark also reports the NoC-predicted speedup
+# (EstimateComm) as a custom metric — on a single-core container the shards
+# time-slice one CPU, so the predicted number carries the scaling story (see
+# EXPERIMENTS.md, PR 8).
+BENCH8_COUNT ?= 3
+bench-shard:
+	$(GO) test -run '^$$' -bench 'BenchmarkShard' -benchmem \
+		-benchtime 2x -count $(BENCH8_COUNT) ./internal/shard | \
+		$(GO) run ./cmd/scale-benchjson -label shard -out BENCH_pr8.json
 
 # Smoke-run the CLIs end to end.
 bench-smoke:
@@ -140,4 +153,63 @@ serve-smoke:
 	trap - EXIT; \
 	echo "serve-smoke: 24 infer + 1 simulate served, drained cleanly"
 
-verify: test lint conform bce race bench-smoke serve-smoke
+# Sharded-serving smoke (DESIGN §4k): boot two scale-shard workers and a
+# scale-serve front pointed at them, fire a concurrent burst through the
+# sharded path, kill -9 the worker that is actually carrying shard traffic
+# while a second burst is in flight, require every request to fail over and
+# succeed, then SIGTERM the survivors and require clean drains.
+SHARD_FRONT ?= 127.0.0.1:18331
+SHARD_W1 ?= 127.0.0.1:18332
+SHARD_W2 ?= 127.0.0.1:18333
+shard-smoke:
+	$(GO) build -o /tmp/scale-shard-smoke ./cmd/scale-shard
+	$(GO) build -o /tmp/scale-serve-shard-smoke ./cmd/scale-serve
+	@set -e; \
+	/tmp/scale-shard-smoke -addr $(SHARD_W1) >/tmp/scale-shard-w1.log 2>&1 & w1=$$!; \
+	/tmp/scale-shard-smoke -addr $(SHARD_W2) >/tmp/scale-shard-w2.log 2>&1 & w2=$$!; \
+	/tmp/scale-serve-shard-smoke -addr $(SHARD_FRONT) -shards $(SHARD_W1),$(SHARD_W2) \
+	    -shard-min 1 >/tmp/scale-shard-front.log 2>&1 & fp=$$!; \
+	trap 'kill $$w1 $$w2 $$fp 2>/dev/null || true' EXIT; \
+	for u in $(SHARD_FRONT) $(SHARD_W1) $(SHARD_W2); do \
+	    ok=0; for i in $$(seq 1 50); do \
+	        if curl -sf http://$$u/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+	        sleep 0.1; \
+	    done; \
+	    [ "$$ok" = 1 ] || { echo "shard-smoke: $$u never became healthy"; exit 1; }; \
+	done; \
+	body=$$(awk 'BEGIN{n=40; \
+	    printf "{\"model\":\"gcn\",\"dims\":[6,4,3],\"num_vertices\":%d,\"edges\":[", n; \
+	    for(i=0;i<n;i++) printf "%s[%d,%d]", (i?",":""), i, (i+1)%n; \
+	    printf "],\"features\":["; \
+	    for(i=0;i<n;i++){printf "%s[", (i?",":""); \
+	        for(j=0;j<6;j++) printf "%s%.2f", (j?",":""), ((i*7+j)%13)*0.1; \
+	        printf "]"}; \
+	    printf "]}"}'); \
+	pids=""; for i in $$(seq 1 12); do \
+	    curl -sf -X POST -d "$$body" -o /dev/null http://$(SHARD_FRONT)/v1/infer & \
+	    pids="$$pids $$!"; \
+	done; \
+	for p in $$pids; do wait $$p || { echo "shard-smoke: burst request failed"; \
+	    cat /tmp/scale-shard-front.log; exit 1; }; done; \
+	victim=$$w2; survivor=$$w1; \
+	if curl -sf http://$(SHARD_W1)/metrics | grep -Eq 'scale_shard_layers_total [1-9]'; then \
+	    victim=$$w1; survivor=$$w2; fi; \
+	pids=""; for i in $$(seq 1 12); do \
+	    curl -sf -X POST -d "$$body" -o /dev/null http://$(SHARD_FRONT)/v1/infer & \
+	    pids="$$pids $$!"; \
+	done; \
+	kill -9 $$victim; \
+	for p in $$pids; do wait $$p || { echo "shard-smoke: post-kill request failed (failover broken)"; \
+	    cat /tmp/scale-shard-front.log; exit 1; }; done; \
+	curl -sf http://$(SHARD_FRONT)/metrics | grep -q 'scale_shard_pool_requests_total 24' || \
+	    { echo "shard-smoke: front never routed requests to the shard tier"; exit 1; }; \
+	curl -sf http://$(SHARD_FRONT)/metrics | grep -Eq 'scale_shard_pool_failovers_total [1-9]' || \
+	    { echo "shard-smoke: replica kill produced no failover"; exit 1; }; \
+	kill -TERM $$fp; \
+	wait $$fp || { echo "shard-smoke: unclean front drain"; cat /tmp/scale-shard-front.log; exit 1; }; \
+	kill -TERM $$survivor; \
+	wait $$survivor || { echo "shard-smoke: unclean worker drain"; exit 1; }; \
+	trap - EXIT; \
+	echo "shard-smoke: 24 sharded infers, replica killed mid-burst, failed over, drained cleanly"
+
+verify: test lint conform bce race bench-smoke serve-smoke shard-smoke

@@ -35,6 +35,9 @@ type Benchmark struct {
 	NsPerOp     []float64 `json:"ns_per_op"`
 	BytesPerOp  []int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp []int64   `json:"allocs_per_op,omitempty"`
+	// Custom holds per-repetition values of any other unit the benchmark
+	// reported via b.ReportMetric (e.g. "predicted-speedup"), keyed by unit.
+	Custom map[string][]float64 `json:"custom,omitempty"`
 }
 
 // Entry is one labeled benchmark run (e.g. "before" / "after").
@@ -108,9 +111,10 @@ func merge(file *File, entry *Entry) {
 
 // parse reads `go test -bench` output and groups repeated Benchmark lines by
 // (pkg, name). Lines that do not parse as benchmark results — truncated
-// fields, non-numeric iteration counts, unknown units — are skipped rather
-// than failing the run, because `go test` interleaves arbitrary test output
-// with the benchmark lines.
+// fields, non-numeric iteration counts — are skipped rather than failing the
+// run, because `go test` interleaves arbitrary test output with the
+// benchmark lines. Units beyond ns/op, B/op, and allocs/op are recorded
+// under Custom, so b.ReportMetric values survive into the trajectory file.
 func parse(r io.Reader, label string) (*Entry, error) {
 	entry := &Entry{Label: label}
 	byKey := map[string]*Benchmark{}
@@ -171,6 +175,15 @@ func parse(r io.Reader, label string) (*Entry, error) {
 				n, err := strconv.ParseInt(v, 10, 64)
 				if err == nil {
 					b.AllocsPerOp = append(b.AllocsPerOp, n)
+				}
+			default:
+				// b.ReportMetric units (e.g. "predicted-speedup").
+				f, err := strconv.ParseFloat(v, 64)
+				if err == nil {
+					if b.Custom == nil {
+						b.Custom = map[string][]float64{}
+					}
+					b.Custom[unit] = append(b.Custom[unit], f)
 				}
 			}
 		}

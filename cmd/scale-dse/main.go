@@ -14,6 +14,12 @@
 // regnn, flowgnn, i-gcn, systolic) is evaluated at each of the standard MAC
 // budgets and printed as a reference line against the Pareto front.
 //
+// With -shards N, the best-EDP design is projected onto a sharded serving
+// deployment (internal/shard): the workload graph is partitioned at each
+// power-of-two shard count up to N, the per-layer halo exchange is costed on
+// the -topology NoC, and the predicted speedup and exposed-communication
+// fraction are printed per shard count.
+//
 // Exit codes: 0 success, 1 usage, 2 bad input, 3 runtime failure. SIGINT
 // and SIGTERM cancel the exploration at design-point boundaries.
 package main
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"scale/internal/baseline"
@@ -31,6 +38,8 @@ import (
 	"scale/internal/dse"
 	"scale/internal/gnn"
 	"scale/internal/graph"
+	"scale/internal/noc"
+	"scale/internal/shard"
 )
 
 func main() { cli.Main("scale-dse", run) }
@@ -43,6 +52,8 @@ func run(ctx context.Context) error {
 		budget   = fs.Float64("area", 0, "area budget in mm² (0 = no budget pick)")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the exploration (1 = serial)")
 		ref      = fs.String("baseline", "", "baseline backend to print as a reference (awb-gcn, gcnax, regnn, flowgnn, i-gcn, systolic)")
+		shards   = fs.Int("shards", 0, "project the best-EDP design onto sharded serving at 2..N shards (0 = off)")
+		topology = fs.String("topology", "ring", "NoC topology for the sharded projection: "+strings.Join(noc.KindNames(), ", "))
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		if err == flag.ErrHelp {
@@ -107,5 +118,46 @@ func run(ctx context.Context) error {
 				b.Name(), macs, r.Cycles, 100*r.AggUtil, 100*r.UpdateUtil)
 		}
 	}
+
+	if *shards > 0 {
+		topo, err := noc.ParseKind(*topology)
+		if err != nil {
+			return cli.Usagef("bad -topology: %v", err)
+		}
+		best, err := dse.BestEDP(points)
+		if err != nil {
+			return err
+		}
+		g := d.Build()
+		fmt.Printf("\nsharded serving projection (%s NoC, T1 = best-EDP point, %d cycles):\n", topo, best.Cycles)
+		fmt.Printf("  %3s  %8s  %7s  %12s  %15s  %8s  %8s\n",
+			"K", "edge-cut", "balance", "halo bytes", "exchange cycles", "speedup", "exposed")
+		for _, k := range shardCounts(*shards) {
+			plan, err := shard.PartitionGraph(g, k)
+			if err != nil {
+				return err
+			}
+			est, err := shard.EstimateComm(plan, d.FeatureDims, 4, topo, best.Cycles)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %3d  %7.1f%%  %7.3f  %12d  %15d  %7.2fx  %7.1f%%\n",
+				k, 100*est.EdgeCut, est.Balance, est.HaloBytes, est.ExchangeCycles,
+				est.PredictedSpeedup, 100*est.ExposedFraction)
+		}
+	}
 	return nil
+}
+
+// shardCounts enumerates the projected shard counts: powers of two up to n,
+// plus n itself when it is not a power of two.
+func shardCounts(n int) []int {
+	var ks []int
+	for k := 2; k <= n; k *= 2 {
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 || ks[len(ks)-1] != n {
+		ks = append(ks, n)
+	}
+	return ks
 }

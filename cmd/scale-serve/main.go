@@ -31,11 +31,14 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"scale"
 	"scale/internal/cli"
+	"scale/internal/noc"
 	"scale/internal/serve"
+	"scale/internal/shard"
 )
 
 func main() { cli.Main("scale-serve", run) }
@@ -54,6 +57,10 @@ func run(ctx context.Context) error {
 		maxSessions  = fs.Int("sessions", 8, "session cache capacity (LRU eviction)")
 		maxVertices  = fs.Int("max-vertices", 1<<20, "per-request vertex cap")
 		precision    = fs.String("precision", "", "default execution precision for infer requests without one: fp32 (default) or int8")
+		shards       = fs.String("shards", "", "comma-separated scale-shard worker addresses; empty serves single-process")
+		shardParts   = fs.Int("shard-parts", 0, "graph partitions per sharded request (0 = one per worker)")
+		topology     = fs.String("topology", "ring", "NoC topology costing the halo exchange: "+strings.Join(noc.KindNames(), ", "))
+		shardMin     = fs.Int("shard-min", 256, "smallest request (vertices) routed to the shard tier; below it stays on the local micro-batcher")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget after SIGTERM")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -82,6 +89,27 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	var pool *shard.Pool
+	if *shards != "" {
+		topo, err := noc.ParseKind(*topology)
+		if err != nil {
+			return cli.Usagef("bad -topology: %v", err)
+		}
+		var workers []string
+		for _, a := range strings.Split(*shards, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				workers = append(workers, a)
+			}
+		}
+		pool, err = shard.NewPool(shard.PoolConfig{
+			Workers:  workers,
+			Parts:    *shardParts,
+			Topology: topo,
+		})
+		if err != nil {
+			return err
+		}
+	}
 	srv := serve.New(serve.Config{
 		Sim:              sim,
 		BatchWindow:      *batchWindow,
@@ -90,6 +118,8 @@ func run(ctx context.Context) error {
 		MaxSessions:      *maxSessions,
 		MaxVertices:      *maxVertices,
 		DefaultPrecision: *precision,
+		ShardPool:        pool,
+		ShardMinVertices: *shardMin,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -101,6 +131,10 @@ func run(ctx context.Context) error {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "scale-serve: listening on %s (window=%s max-batch=%d queue=%d sessions=%d)\n",
 		*addr, *batchWindow, *maxBatch, *queueDepth, *maxSessions)
+	if pool != nil {
+		fmt.Fprintf(os.Stderr, "scale-serve: sharding requests >=%d vertices across %d workers (parts=%d topology=%s)\n",
+			*shardMin, len(pool.Workers()), pool.Parts(), pool.Topology())
+	}
 
 	select {
 	case err := <-errc:

@@ -143,7 +143,7 @@ func (b *Baseline) Run(m *gnn.Model, p *graph.Profile) (*arch.Result, error) {
 		scaleEff = math.Pow(512/float64(b.macs), b.spec.scalingAlpha)
 	}
 
-	net := noc.New(b.spec.network, nUnits)
+	net := noc.MustNew(b.spec.network, nUnits)
 	for li, layer := range m.Layers {
 		lr, traffic := b.runLayer(li, layer, p, aggBal*scaleEff, updBal*scaleEff, net)
 		res.Layers = append(res.Layers, lr)

@@ -54,7 +54,7 @@ func refBaselineCycles(b *Baseline, m *gnn.Model, p *graph.Profile) int64 {
 	aggBal *= scaleEff
 	updBal *= scaleEff
 
-	hops := noc.New(b.spec.network, nUnits).Hops()
+	hops := noc.MustNew(b.spec.network, nUnits).Hops()
 	channels := 16 * math.Sqrt(float64(b.macs))
 
 	var total int64

@@ -233,7 +233,10 @@ func (s *Suite) ExtIGCN() (*Table, error) {
 		ds := s.Datasets[i]
 		m := s.Model("gcn", ds)
 		p := s.Profile(ds)
-		_, stats := graph.Islandize(graph.MustByName(ds).Build(), 256)
+		_, stats, err := graph.Islandize(graph.MustByName(ds).Build(), 256)
+		if err != nil {
+			return err
+		}
 		igcn := baseline.NewIGCN(s.MACs)
 		igcn.LocalityRate = stats.Locality
 		ir, err := igcn.Run(m, p)

@@ -60,7 +60,7 @@ func (s *Suite) Fig1b() *Table {
 	}
 	const computePerResult = 8 // cycles of update work per intermediate result
 	for _, pes := range []int{32, 64, 128, 256, 512, 1024} {
-		nw := noc.New(noc.Benes, pes)
+		nw := noc.MustNew(noc.Benes, pes)
 		share := nw.ExposedCommunication(computePerResult)
 		slow := 1 / (1 - share)
 		t.AddRow(itoa(pes), itoa(nw.Hops()), pct(share), f2(slow))

@@ -159,15 +159,7 @@ func (s *SCALE) ForwardContext(ctx context.Context, m *gnn.Model, g *graph.Graph
 	}
 	defer s.fwdPool.Put(st)
 
-	n := g.NumVertices()
-	if cap(st.degrees) < n {
-		st.degrees = make([]int32, n)
-	}
-	degrees := st.degrees[:n]
-	for v := range degrees {
-		degrees[v] = int32(g.InDegree(v))
-	}
-
+	degrees := st.localDegrees(g)
 	h := x
 	outs := make([]*tensor.Matrix, 0, len(m.Layers))
 	for li, layer := range m.Layers {
@@ -179,6 +171,59 @@ func (s *SCALE) ForwardContext(ctx context.Context, m *gnn.Model, g *graph.Graph
 		h = out
 	}
 	return outs, nil
+}
+
+// localDegrees fills the state's recycled degree slice from g's in-degrees.
+func (st *fwdState) localDegrees(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	if cap(st.degrees) < n {
+		st.degrees = make([]int32, n)
+	}
+	degrees := st.degrees[:n]
+	for v := range degrees {
+		degrees[v] = int32(g.InDegree(v))
+	}
+	return degrees
+}
+
+// ForwardLayerContext executes exactly one layer of m — m.Layers[li] — over a
+// materialized graph, with an optional per-vertex degree override. It is the
+// building block of sharded serving (internal/shard): a shard worker holds
+// the subgraph induced by its owned vertices plus halo copies of their remote
+// in-neighbors, runs one layer per front-tier call, and exchanges halo rows
+// between layers.
+//
+// degrees supplies the structural degree of each vertex as seen by message
+// functions (EdgeContext.SrcDeg) and by the int8 tier's per-source
+// coefficients. On a shard-local subgraph a halo vertex has no local
+// in-edges, so its local in-degree is 0 even though message functions must
+// see its global degree — passing the global degrees restores exactly the
+// operand stream of an unsharded pass, which is what makes sharded fp32
+// output bit-identical to single-process execution. nil selects g's own
+// in-degrees, making this equivalent to one step of ForwardContext.
+func (s *SCALE) ForwardLayerContext(ctx context.Context, m *gnn.Model, li int, g *graph.Graph, x *tensor.Matrix, degrees []int32, workers int) (*tensor.Matrix, error) {
+	if li < 0 || li >= len(m.Layers) {
+		return nil, fmt.Errorf("core: layer %d outside model of %d layers: %w", li, len(m.Layers), fault.ErrBadConfig)
+	}
+	layer := m.Layers[li]
+	if x.Rows != g.NumVertices() {
+		return nil, fmt.Errorf("core: features have %d rows, graph has %d vertices: %w", x.Rows, g.NumVertices(), fault.ErrBadShape)
+	}
+	if x.Cols != layer.InDim() {
+		return nil, fmt.Errorf("core: features have %d cols, layer %d wants %d: %w", x.Cols, li, layer.InDim(), fault.ErrBadShape)
+	}
+	if degrees != nil && len(degrees) != g.NumVertices() {
+		return nil, fmt.Errorf("core: %d degree overrides for %d vertices: %w", len(degrees), g.NumVertices(), fault.ErrBadShape)
+	}
+	st, _ := s.fwdPool.Get().(*fwdState)
+	if st == nil {
+		st = &fwdState{}
+	}
+	defer s.fwdPool.Put(st)
+	if degrees == nil {
+		degrees = st.localDegrees(g)
+	}
+	return s.forwardLayer(ctx, li, layer, g, degrees, x, st, workers)
 }
 
 func (s *SCALE) forwardLayer(ctx context.Context, li int, layer gnn.Layer, g *graph.Graph, degrees []int32, h *tensor.Matrix, st *fwdState, workers int) (*tensor.Matrix, error) {
@@ -275,7 +320,7 @@ func (s *SCALE) forwardLayer(ctx context.Context, li int, layer gnn.Layer, g *gr
 			}
 		}()
 		for gi := lo; gi < hi && wk.err == nil; gi++ {
-			wk.err = runGroup(layer, g, groups[gi], psrc, pdst, h, out, seen, wk, kind, width, qupd, qagg, qpsrc)
+			wk.err = runGroup(layer, g, degrees, groups[gi], psrc, pdst, h, out, seen, wk, kind, width, qupd, qagg, qpsrc)
 		}
 	}
 	for _, vb := range st.batchesFor(g.NumVertices(), batch) {
@@ -312,7 +357,7 @@ func (s *SCALE) forwardLayer(ctx context.Context, li int, layer gnn.Layer, g *gr
 // int32 every ChainBlockEdges), dequantizing once per vertex with
 // Scale·QDstCoef. Integer sums are order-independent, so int8 outputs keep
 // the same worker-count bit-identity guarantee as float32.
-func runGroup(layer gnn.Layer, g *graph.Graph, group *sched.TaskGroup, psrc, pdst, h, out *tensor.Matrix, seen []bool, wk *fwdWorker, kind gnn.ReduceKind, width int, qupd gnn.QKernels, qagg gnn.QAggregator, qpsrc *tensor.QSumMatrix) error {
+func runGroup(layer gnn.Layer, g *graph.Graph, degrees []int32, group *sched.TaskGroup, psrc, pdst, h, out *tensor.Matrix, seen []bool, wk *fwdWorker, kind gnn.ReduceKind, width int, qupd gnn.QKernels, qagg gnn.QAggregator, qpsrc *tensor.QSumMatrix) error {
 	msgDim := layer.MsgDim()
 	for _, task := range group.Tasks {
 		for _, v := range task.Vertices {
@@ -356,10 +401,14 @@ func runGroup(layer gnn.Layer, g *graph.Graph, group *sched.TaskGroup, psrc, pds
 				}
 				// The reduce chain: sources stream through the ring
 				// in mapping order, accumulating hop by hop.
+				// SrcDeg comes from the degrees slice, not g.InDegree:
+				// on an unsharded graph the two agree, and on a shard's
+				// subgraph the slice carries global degrees so halo
+				// sources normalize exactly as they would unsharded.
 				for _, u := range nbrs {
 					ctx := gnn.EdgeContext{
 						Src: int(u), Dst: int(v),
-						SrcDeg: g.InDegree(int(u)), DstDeg: len(nbrs),
+						SrcDeg: int(degrees[u]), DstDeg: len(nbrs),
 					}
 					layer.AccumulateEdge(acc, psrc.Row(int(u)), pdstRow, wk.msg, ctx)
 				}

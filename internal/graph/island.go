@@ -1,6 +1,11 @@
 package graph
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+
+	"scale/internal/fault"
+)
 
 // Island is a group of vertices whose neighborhoods overlap heavily — the
 // unit I-GCN's runtime islandization extracts so aggregation over the group
@@ -22,17 +27,26 @@ type IslandStats struct {
 	// Locality is the fraction of all edges internal to their island —
 	// the quantity that converts SpMM work into dense blocks.
 	Locality float64
+	// EdgeCut is the fraction of edges crossing island boundaries
+	// (1 − Locality on non-empty graphs) — the traffic a partitioner
+	// built on these islands must move between shards.
+	EdgeCut float64
+	// Balance is the largest island's vertex count over the mean island
+	// size; 1 means perfectly even islands. The shard partitioner reports
+	// it as the load-imbalance bound of an island-granular assignment.
+	Balance float64
 }
 
 // Islandize runs a BFS-style clustering in the spirit of I-GCN's hub-first
 // islandization: vertices are seeded in descending degree order (hubs
 // first), and each island grows breadth-first through in-neighbors until it
 // reaches maxIsland vertices. Every vertex lands in exactly one island.
-func Islandize(g *Graph, maxIsland int) ([]Island, IslandStats) {
-	n := g.NumVertices()
-	if maxIsland < 1 {
-		maxIsland = 1
+// maxIsland must be positive; non-positive caps are a typed input error.
+func Islandize(g *Graph, maxIsland int) ([]Island, IslandStats, error) {
+	if maxIsland <= 0 {
+		return nil, IslandStats{}, fmt.Errorf("graph: island cap %d must be positive: %w", maxIsland, fault.ErrBadConfig)
 	}
+	n := g.NumVertices()
 	order := make([]int32, n)
 	for i := range order {
 		order[i] = int32(i)
@@ -86,6 +100,19 @@ func Islandize(g *Graph, maxIsland int) ([]Island, IslandStats) {
 	stats := IslandStats{Islands: len(islands), Coverage: 1}
 	if total > 0 {
 		stats.Locality = float64(internal) / float64(total)
+		stats.EdgeCut = float64(total-internal) / float64(total)
 	}
-	return islands, stats
+	if len(islands) > 0 {
+		largest := 0
+		for _, is := range islands {
+			if len(is.Vertices) > largest {
+				largest = len(is.Vertices)
+			}
+		}
+		mean := float64(n) / float64(len(islands))
+		if mean > 0 {
+			stats.Balance = float64(largest) / mean
+		}
+	}
+	return islands, stats, nil
 }

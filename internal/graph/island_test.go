@@ -1,10 +1,19 @@
 package graph
 
-import "testing"
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"scale/internal/fault"
+)
 
 func TestIslandizeCoversAllVertices(t *testing.T) {
 	g := CommunityGraph(600, 12, 20, 3)
-	islands, stats := Islandize(g, 64)
+	islands, stats, err := Islandize(g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	seen := map[int32]bool{}
 	count := 0
 	for _, is := range islands {
@@ -31,9 +40,15 @@ func TestIslandizeCoversAllVertices(t *testing.T) {
 // I-GCN's dense-region extraction depends on.
 func TestIslandLocalityContrast(t *testing.T) {
 	community := CommunityGraph(800, 10, 24, 5)
-	_, cs := Islandize(community, 128)
+	_, cs, err := Islandize(community, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
 	random := ErdosRenyi(800, 800*12, 5)
-	_, rs := Islandize(random, 128)
+	_, rs, err := Islandize(random, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cs.Locality <= rs.Locality {
 		t.Fatalf("community locality %.3f should beat random %.3f", cs.Locality, rs.Locality)
 	}
@@ -45,27 +60,74 @@ func TestIslandLocalityContrast(t *testing.T) {
 func TestIslandEdgeAccounting(t *testing.T) {
 	// A 4-clique islandized whole: every edge is internal.
 	g := Complete(4)
-	islands, stats := Islandize(g, 8)
+	islands, stats, err := Islandize(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(islands) != 1 {
 		t.Fatalf("islands = %d", len(islands))
 	}
 	if islands[0].InternalEdges != int64(g.NumEdges()) || stats.Locality != 1 {
 		t.Fatalf("clique should be fully internal: %+v %+v", islands[0], stats)
 	}
-	// Cap of 1: no edge can be internal.
-	_, solo := Islandize(g, 1)
-	if solo.Locality != 0 {
+	if stats.EdgeCut != 0 {
+		t.Fatalf("fully internal clique has edge cut %.3f, want 0", stats.EdgeCut)
+	}
+	// Cap of 1: no edge can be internal, every edge is cut.
+	_, solo, err := Islandize(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Locality != 0 || solo.EdgeCut != 1 {
 		t.Fatalf("singleton islands can't have internal edges: %+v", solo)
+	}
+}
+
+// EdgeCut and Locality partition the edge set; Balance reports the largest
+// island against the mean. These are the partitioner-report satellites.
+func TestIslandStatsCutAndBalance(t *testing.T) {
+	g := CommunityGraph(400, 8, 16, 7)
+	islands, stats, err := Islandize(g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Locality + stats.EdgeCut; math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Locality+EdgeCut = %.6f, want 1", got)
+	}
+	largest, total := 0, 0
+	for _, is := range islands {
+		if len(is.Vertices) > largest {
+			largest = len(is.Vertices)
+		}
+		total += len(is.Vertices)
+	}
+	want := float64(largest) / (float64(total) / float64(len(islands)))
+	if math.Abs(stats.Balance-want) > 1e-12 {
+		t.Fatalf("Balance = %.6f, want %.6f", stats.Balance, want)
+	}
+	if stats.Balance < 1 {
+		t.Fatalf("Balance %.3f below 1 (largest island can't be below the mean)", stats.Balance)
 	}
 }
 
 func TestIslandizeEmptyAndDegenerate(t *testing.T) {
 	empty := NewBuilder(0).Build("e")
-	islands, stats := Islandize(empty, 8)
+	islands, stats, err := Islandize(empty, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(islands) != 0 || stats.Locality != 0 {
 		t.Fatalf("empty graph: %v %+v", islands, stats)
 	}
-	if _, st := Islandize(Path(5), 0); st.Islands != 5 {
-		t.Fatalf("cap floor should make singletons: %+v", st)
+	// Non-positive caps are typed input errors, not a silent clamp.
+	for _, cap := range []int{0, -3} {
+		if _, _, err := Islandize(Path(5), cap); !errors.Is(err, fault.ErrBadConfig) {
+			t.Fatalf("Islandize cap %d: err = %v, want ErrBadConfig", cap, err)
+		}
+	}
+	// A cap of 1 still yields one singleton island per vertex.
+	islands, st, err := Islandize(Path(5), 1)
+	if err != nil || st.Islands != 5 || len(islands) != 5 {
+		t.Fatalf("cap 1 should make singletons: %+v err=%v", st, err)
 	}
 }

@@ -6,7 +6,12 @@
 // exposed-communication growth shown in Fig. 1(b).
 package noc
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"scale/internal/fault"
+)
 
 // Kind identifies an interconnect topology.
 type Kind int
@@ -39,6 +44,32 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// valid reports whether k is one of the defined topologies.
+func (k Kind) valid() bool {
+	return k == Ring || k == Crossbar || k == Benes || k == AllToAll
+}
+
+// KindNames lists the topology names ParseKind accepts.
+func KindNames() []string {
+	return []string{Ring.String(), Crossbar.String(), Benes.String(), AllToAll.String()}
+}
+
+// ParseKind resolves a topology name (case-insensitive; "" selects Ring, the
+// SCALE default). Unknown names are typed input errors.
+func ParseKind(name string) (Kind, error) {
+	switch strings.ToLower(name) {
+	case "", "ring":
+		return Ring, nil
+	case "crossbar":
+		return Crossbar, nil
+	case "benes":
+		return Benes, nil
+	case "all-to-all", "alltoall":
+		return AllToAll, nil
+	}
+	return 0, fmt.Errorf("noc: unknown topology %q (want one of %v): %w", name, KindNames(), fault.ErrBadConfig)
+}
+
 // Network models a topology instance connecting n endpoints.
 type Network struct {
 	Kind Kind
@@ -48,11 +79,27 @@ type Network struct {
 }
 
 // New returns a network of kind k over n endpoints with 1-cycle hops.
-func New(k Kind, n int) *Network {
-	if n < 1 {
-		n = 1
+// Non-positive endpoint counts and unknown kinds have no defined geometry
+// and are typed input errors rather than a silent clamp.
+func New(k Kind, n int) (*Network, error) {
+	if !k.valid() {
+		return nil, fmt.Errorf("noc: unknown topology %v: %w", k, fault.ErrBadConfig)
 	}
-	return &Network{Kind: k, N: n, CyclesPerHop: 1}
+	if n <= 0 {
+		return nil, fmt.Errorf("noc: network needs at least one endpoint, got %d: %w", n, fault.ErrBadConfig)
+	}
+	return &Network{Kind: k, N: n, CyclesPerHop: 1}, nil
+}
+
+// MustNew is New for statically known-good parameters; it panics on the
+// errors New would return. Interior model code whose geometry is fixed at
+// construction time uses it. lint:allow-panic
+func MustNew(k Kind, n int) *Network {
+	nw, err := New(k, n)
+	if err != nil {
+		panic(err) // lint:allow-panic — static misuse, not user input
+	}
+	return nw
 }
 
 // Hops returns the hop count for one transfer between typical endpoints.

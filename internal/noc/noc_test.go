@@ -1,6 +1,11 @@
 package noc
 
-import "testing"
+import (
+	"errors"
+	"testing"
+
+	"scale/internal/fault"
+)
 
 func TestCeilLog2(t *testing.T) {
 	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 128: 7, 129: 8, 1024: 10}
@@ -13,7 +18,7 @@ func TestCeilLog2(t *testing.T) {
 
 func TestRingIsOneHop(t *testing.T) {
 	for _, n := range []int{2, 64, 1024} {
-		if h := New(Ring, n).Hops(); h != 1 {
+		if h := MustNew(Ring, n).Hops(); h != 1 {
 			t.Fatalf("ring hops at N=%d: %d", n, h)
 		}
 	}
@@ -21,10 +26,10 @@ func TestRingIsOneHop(t *testing.T) {
 
 func TestBenesMatchesPaperFormula(t *testing.T) {
 	// §II-B: in a Benes network, the hop count is 2·log2(N).
-	if h := New(Benes, 128).Hops(); h != 14 {
+	if h := MustNew(Benes, 128).Hops(); h != 14 {
 		t.Fatalf("benes(128) hops = %d, want 14", h)
 	}
-	if h := New(Benes, 1024).Hops(); h != 20 {
+	if h := MustNew(Benes, 1024).Hops(); h != 20 {
 		t.Fatalf("benes(1024) hops = %d, want 20", h)
 	}
 }
@@ -32,9 +37,9 @@ func TestBenesMatchesPaperFormula(t *testing.T) {
 func TestHopGrowthOrdering(t *testing.T) {
 	// At scale, ring < crossbar < all-to-all < benes in traversal cost.
 	n := 512
-	ring := New(Ring, n).Hops()
-	xbar := New(Crossbar, n).Hops()
-	benes := New(Benes, n).Hops()
+	ring := MustNew(Ring, n).Hops()
+	xbar := MustNew(Crossbar, n).Hops()
+	benes := MustNew(Benes, n).Hops()
 	if !(ring < xbar && xbar < benes) {
 		t.Fatalf("ordering violated: ring=%d xbar=%d benes=%d", ring, xbar, benes)
 	}
@@ -44,18 +49,18 @@ func TestExposedCommunicationGrowsWithN(t *testing.T) {
 	// §II-B: computation per intermediate result is constant while network
 	// latency grows, so exposed communication appears beyond some size.
 	const compute = 8
-	small := New(Benes, 16).ExposedCommunication(compute)
-	large := New(Benes, 1024).ExposedCommunication(compute)
+	small := MustNew(Benes, 16).ExposedCommunication(compute)
+	large := MustNew(Benes, 1024).ExposedCommunication(compute)
 	if small > large {
 		t.Fatalf("exposure should grow: %f -> %f", small, large)
 	}
-	if New(Ring, 1024).ExposedCommunication(compute) != 0 {
+	if MustNew(Ring, 1024).ExposedCommunication(compute) != 0 {
 		t.Fatal("ring must fully hide 1-hop communication behind compute")
 	}
 }
 
 func TestTransferCycles(t *testing.T) {
-	nw := New(Benes, 8)
+	nw := MustNew(Benes, 8)
 	nw.CyclesPerHop = 2
 	if got := nw.TransferCycles(); got != 12 {
 		t.Fatalf("TransferCycles = %d, want 12", got)
@@ -73,8 +78,59 @@ func TestKindStrings(t *testing.T) {
 	}
 }
 
-func TestDegenerateN(t *testing.T) {
-	if New(Ring, 0).N != 1 {
-		t.Fatal("N floor violated")
+// New rejects undefined geometry with the typed config sentinel, and a
+// single-endpoint network sits exactly on the ceilLog2(1) = 0 boundary:
+// every log-term collapses, leaving each topology's constant cost.
+func TestNewValidationAndSingleEndpoint(t *testing.T) {
+	bad := []struct {
+		kind Kind
+		n    int
+	}{
+		{Ring, 0}, {Benes, -4}, {Kind(99), 8}, {Kind(-1), 8},
+	}
+	for _, c := range bad {
+		if _, err := New(c.kind, c.n); !errors.Is(err, fault.ErrBadConfig) {
+			t.Fatalf("New(%v, %d): err = %v, want ErrBadConfig", c.kind, c.n, err)
+		}
+	}
+	hops := []struct {
+		kind Kind
+		n    int
+		want int
+	}{
+		// n=1 → ceilLog2(1)=0: only the constant terms survive.
+		{Ring, 1, 1},
+		{Crossbar, 1, 2},
+		{Benes, 1, 0},
+		{AllToAll, 1, 1},
+		// n=2 → ceilLog2(2)=1: first step off the boundary.
+		{Ring, 2, 1},
+		{Crossbar, 2, 2},
+		{Benes, 2, 2},
+		{AllToAll, 2, 2},
+	}
+	for _, c := range hops {
+		nw, err := New(c.kind, c.n)
+		if err != nil {
+			t.Fatalf("New(%v, %d): %v", c.kind, c.n, err)
+		}
+		if got := nw.Hops(); got != c.want {
+			t.Errorf("%v(%d).Hops() = %d, want %d", c.kind, c.n, got, c.want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, name := range KindNames() {
+		k, err := ParseKind(name)
+		if err != nil || k.String() != name {
+			t.Fatalf("ParseKind(%q) = %v, %v", name, k, err)
+		}
+	}
+	if k, err := ParseKind(""); err != nil || k != Ring {
+		t.Fatalf("empty topology should default to ring, got %v, %v", k, err)
+	}
+	if _, err := ParseKind("torus"); !errors.Is(err, fault.ErrBadConfig) {
+		t.Fatalf("unknown topology: err = %v, want ErrBadConfig", err)
 	}
 }

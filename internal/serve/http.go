@@ -11,6 +11,9 @@ import (
 
 	"scale"
 	"scale/internal/fault"
+	"scale/internal/graph"
+	"scale/internal/shard"
+	"scale/internal/tensor"
 )
 
 // errDraining marks work refused because the server is shutting down.
@@ -39,6 +42,15 @@ type inferResponse struct {
 	Model      string      `json:"model"`
 	Precision  string      `json:"precision"`
 	Embeddings [][]float32 `json:"embeddings"`
+}
+
+// simulateResponse is the POST /v1/simulate success payload: the timing
+// report, plus — when the server fronts a shard pool — the NoC-costed
+// cross-shard halo-exchange estimate for running that same workload sharded
+// at the pool's shard count and topology.
+type simulateResponse struct {
+	scale.Report
+	Sharding *shard.CommEstimate `json:"sharding,omitempty"`
 }
 
 // simulateBody is the POST /v1/simulate request payload. Accel selects the
@@ -202,6 +214,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if precision == "" {
 		precision = "fp32"
 	}
+	if s.cfg.ShardPool != nil && body.NumVertices >= s.cfg.ShardMinVertices {
+		s.handleInferSharded(w, r, body, precision)
+		return
+	}
 	entry, err := s.session(body.Model, body.Dims, precision)
 	if err != nil {
 		s.writeMapped(w, err)
@@ -238,6 +254,71 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleInferSharded serves an infer request over the shard worker tier:
+// the graph is materialized, partitioned, and fanned across the pool's
+// workers layer by layer. The response shape is exactly handleInfer's local
+// path — at fp32 the two are byte-identical (TestShardedServingGolden) —
+// and the front tier never builds a model: weights live only on workers.
+func (s *Server) handleInferSharded(w http.ResponseWriter, r *http.Request, body inferBody, precision string) {
+	if err := validateShardBody(&body); err != nil {
+		s.writeMapped(w, err)
+		return
+	}
+	b := graph.NewBuilder(body.NumVertices)
+	for _, e := range body.Edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build("user")
+	x := tensor.NewMatrix(body.NumVertices, body.Dims[0])
+	for v, row := range body.Features {
+		copy(x.Row(v), row)
+	}
+
+	ctx := r.Context()
+	cancel := func() {}
+	if body.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(body.TimeoutMS)*time.Millisecond)
+	}
+	defer cancel()
+
+	out, _, err := s.cfg.ShardPool.Run(ctx, shard.SessionSpec{Model: body.Model, Dims: body.Dims, Precision: precision}, g, x)
+	if err != nil {
+		s.writeMapped(w, err)
+		return
+	}
+	rows := make([][]float32, out.Rows)
+	for v := range rows {
+		rows[v] = out.Row(v)
+	}
+	writeJSON(w, http.StatusOK, inferResponse{Model: body.Model, Precision: precision, Embeddings: rows})
+}
+
+// validateShardBody mirrors scale.Session.Validate for the sharded path,
+// which has no local session to ask: same checks, same sentinels, so both
+// paths answer identical 400s.
+func validateShardBody(body *inferBody) error {
+	if body.NumVertices < 1 {
+		return fmt.Errorf("scale: need at least one vertex, got %d: %w", body.NumVertices, fault.ErrBadGraph)
+	}
+	if len(body.Dims) < 2 {
+		return fmt.Errorf("scale: dims chain has %d entries, need ≥2: %w", len(body.Dims), fault.ErrBadConfig)
+	}
+	for i, e := range body.Edges {
+		if e[0] < 0 || e[0] >= body.NumVertices || e[1] < 0 || e[1] >= body.NumVertices {
+			return fmt.Errorf("scale: edge %d (%d→%d) outside [0, %d): %w", i, e[0], e[1], body.NumVertices, fault.ErrBadGraph)
+		}
+	}
+	if len(body.Features) != body.NumVertices {
+		return fmt.Errorf("scale: %d feature rows for %d vertices: %w", len(body.Features), body.NumVertices, fault.ErrBadShape)
+	}
+	for v, row := range body.Features {
+		if len(row) != body.Dims[0] {
+			return fmt.Errorf("scale: feature row %d has %d values, model wants %d: %w", v, len(row), body.Dims[0], fault.ErrBadShape)
+		}
+	}
+	return nil
+}
+
 // handleSimulate serves POST /v1/simulate: one timing-model run of (model,
 // dataset) on the shared simulator, reported as a scale.Report.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -268,7 +349,31 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeMapped(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, report)
+	resp := simulateResponse{Report: report}
+	if s.cfg.ShardPool != nil {
+		if est, err := s.shardEstimate(body.Dataset, report.Cycles); err == nil {
+			resp.Sharding = est
+		}
+		// Estimate failures (e.g. a dataset with no generator) degrade to
+		// the plain report rather than failing the simulate call.
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// shardEstimate partitions the dataset's generated graph at the pool's shard
+// count and costs the halo exchange against the simulated single-device
+// cycle count. Feature rows move at fp32 width — the sharded data plane
+// exchanges float32 activations in both precision tiers.
+func (s *Server) shardEstimate(dataset string, cycles int64) (*shard.CommEstimate, error) {
+	d, err := graph.ByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := shard.PartitionGraph(d.Build(), s.cfg.ShardPool.Parts())
+	if err != nil {
+		return nil, err
+	}
+	return shard.EstimateComm(plan, d.FeatureDims, 4, s.cfg.ShardPool.Topology(), cycles)
 }
 
 // handleHealthz answers 200 while serving and 503 while draining, so load
@@ -291,4 +396,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.Render(w, s.LiveSessions())
+	if s.cfg.ShardPool != nil {
+		s.cfg.ShardPool.WritePrometheus(w)
+	}
 }

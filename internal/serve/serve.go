@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"scale"
+	"scale/internal/shard"
 )
 
 // Config parameterizes a Server. The zero value of every field selects a
@@ -64,6 +65,17 @@ type Config struct {
 	// Backend overrides batch execution (tests inject faults); the default
 	// is (*scale.Session).InferBatch.
 	Backend Backend
+	// ShardPool, when set, routes infer requests with at least
+	// ShardMinVertices vertices to the sharded worker tier (internal/shard)
+	// instead of the local micro-batcher, and decorates /v1/simulate with
+	// the NoC-costed cross-shard communication estimate. fp32 sharded
+	// results are bit-identical to local serving.
+	ShardPool *shard.Pool
+	// ShardMinVertices is the smallest request the sharded path takes
+	// (default 1 — everything — when ShardPool is set). Small graphs cost
+	// more in halo round-trips than they gain in parallelism; raising the
+	// floor keeps them on the local micro-batcher.
+	ShardMinVertices int
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +101,9 @@ func (c Config) withDefaults() Config {
 		c.Backend = func(ctx context.Context, sess *scale.Session, reqs []scale.InferRequest) ([][][]float32, error) {
 			return sess.InferBatch(ctx, reqs)
 		}
+	}
+	if c.ShardPool != nil && c.ShardMinVertices == 0 {
+		c.ShardMinVertices = 1
 	}
 	return c
 }

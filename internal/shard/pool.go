@@ -1,0 +1,483 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scale/internal/fault"
+	"scale/internal/graph"
+	"scale/internal/noc"
+	"scale/internal/tensor"
+)
+
+// SessionSpec names the (model, dims, precision) a sharded pass runs under.
+// Every worker builds its session from the same deterministic seed, so all
+// shards hold identical weights.
+type SessionSpec struct {
+	Model     string
+	Dims      []int
+	Precision string
+}
+
+func (s SessionSpec) key() string {
+	parts := make([]string, 0, len(s.Dims)+2)
+	parts = append(parts, s.Model)
+	for _, d := range s.Dims {
+		parts = append(parts, fmt.Sprint(d))
+	}
+	return strings.Join(append(parts, s.Precision), "/")
+}
+
+// PoolConfig parameterizes a Pool. Workers is required.
+type PoolConfig struct {
+	// Workers lists the shard worker addresses ("host:port" or full URLs).
+	Workers []string
+	// Parts is the shard count K per request (default len(Workers)).
+	Parts int
+	// Topology is the modeled inter-shard interconnect for cost estimates
+	// (default noc.Ring).
+	Topology noc.Kind
+	// VNodes per worker on the consistent-hash ring (default 256).
+	VNodes int
+	// RequestTimeout bounds each worker HTTP call (default 60s).
+	RequestTimeout time.Duration
+	// DownFor is how long a failed worker is skipped before being retried
+	// (default 1s).
+	DownFor time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+// PoolMetrics are the front tier's sharding counters.
+type PoolMetrics struct {
+	Requests      atomic.Int64
+	LayerCalls    atomic.Int64
+	Failovers     atomic.Int64
+	Reloads       atomic.Int64
+	HaloBytesSent atomic.Int64
+}
+
+// Pool is the front-tier client of the shard worker fleet. Each inference
+// request is partitioned into K shards; shard s of a session routes to
+// Ring.Successors(sessionKey#s) — consistent hashing keeps a session's shards
+// on the same workers across requests (warm session caches), and the
+// successor list is the failover order when a worker is down. Between layers
+// the pool gathers every shard's owned rows into the global feature matrix
+// and redistributes halo rows, which also means it can reload a dead
+// worker's shard onto the next candidate at the exact layer the pass has
+// reached.
+//
+// A Pool is safe for concurrent use.
+type Pool struct {
+	cfg     PoolConfig
+	ring    *Ring
+	client  *http.Client
+	metrics *PoolMetrics
+	reqSeq  atomic.Uint64
+
+	mu   sync.Mutex
+	down map[string]time.Time // worker → down-until
+}
+
+// NewPool builds a Pool over cfg.Workers.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if cfg.Parts < 0 {
+		return nil, fmt.Errorf("shard: negative shard count %d: %w", cfg.Parts, fault.ErrBadConfig)
+	}
+	normalized := make([]string, len(cfg.Workers))
+	for i, a := range cfg.Workers {
+		normalized[i] = normalizeAddr(a)
+	}
+	cfg.Workers = normalized
+	ring, err := NewRing(cfg.Workers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Parts == 0 {
+		cfg.Parts = len(cfg.Workers)
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	if cfg.DownFor == 0 {
+		cfg.DownFor = time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.RequestTimeout}
+	}
+	p := &Pool{
+		cfg:     cfg,
+		ring:    ring,
+		client:  client,
+		metrics: &PoolMetrics{},
+		down:    make(map[string]time.Time),
+	}
+	// Distinct pools must not collide on worker run ids.
+	p.reqSeq.Store(uint64(time.Now().UnixNano()))
+	return p, nil
+}
+
+// Parts returns the pool's shard count per request.
+func (p *Pool) Parts() int { return p.cfg.Parts }
+
+// Workers returns the normalized worker base URLs in the replica set.
+func (p *Pool) Workers() []string { return append([]string(nil), p.cfg.Workers...) }
+
+// Topology returns the modeled inter-shard interconnect.
+func (p *Pool) Topology() noc.Kind { return p.cfg.Topology }
+
+// Metrics exposes the pool's counters.
+func (p *Pool) Metrics() *PoolMetrics { return p.metrics }
+
+// WritePrometheus renders the pool's sharding counters in Prometheus text
+// exposition format; the front tier appends it to its /metrics page.
+func (p *Pool) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("scale_shard_pool_requests_total", "Sharded inference passes started.", p.metrics.Requests.Load())
+	counter("scale_shard_pool_layer_calls_total", "Per-shard layer calls completed.", p.metrics.LayerCalls.Load())
+	counter("scale_shard_pool_failovers_total", "Worker failures routed around.", p.metrics.Failovers.Load())
+	counter("scale_shard_pool_reloads_total", "Shard reloads onto replacement workers.", p.metrics.Reloads.Load())
+	counter("scale_shard_pool_halo_bytes_total", "Halo row bytes redistributed between layers.", p.metrics.HaloBytesSent.Load())
+	fmt.Fprintf(w, "# HELP scale_shard_pool_workers Workers in the replica pool.\n# TYPE scale_shard_pool_workers gauge\nscale_shard_pool_workers %d\n", len(p.ring.nodes))
+	fmt.Fprintf(w, "# HELP scale_shard_pool_parts Shards per request.\n# TYPE scale_shard_pool_parts gauge\nscale_shard_pool_parts %d\n", p.cfg.Parts)
+}
+
+func normalizeAddr(a string) string {
+	if strings.HasPrefix(a, "http://") || strings.HasPrefix(a, "https://") {
+		return strings.TrimSuffix(a, "/")
+	}
+	return "http://" + a
+}
+
+// markDown records a worker failure; candidates skips it until DownFor
+// elapses (then it gets one probe request again).
+func (p *Pool) markDown(addr string) {
+	p.mu.Lock()
+	p.down[addr] = time.Now().Add(p.cfg.DownFor)
+	p.mu.Unlock()
+	p.metrics.Failovers.Add(1)
+}
+
+// candidates returns the failover-ordered worker list for key: ring
+// successors with currently-down workers moved to the back (not removed —
+// when every worker is marked down, trying beats refusing).
+func (p *Pool) candidates(key string) []string {
+	succ := p.ring.Successors(key, len(p.ring.nodes))
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	up := make([]string, 0, len(succ))
+	var skipped []string
+	for _, a := range succ {
+		if until, bad := p.down[a]; bad && now.Before(until) {
+			skipped = append(skipped, a)
+			continue
+		}
+		up = append(up, a)
+	}
+	return append(up, skipped...)
+}
+
+// shardRun is the pool-side state of one shard during a pass.
+type shardRun struct {
+	sub   *Subgraph
+	reqID uint64
+	key   string // routing key: sessionKey#shardIndex
+	addr  string // worker currently holding the run ("" = not loaded)
+}
+
+// permanentErr marks worker answers that retrying elsewhere cannot fix
+// (bad input, usage): the pass aborts instead of failing over.
+type permanentErr struct{ err error }
+
+func (e *permanentErr) Error() string { return e.err.Error() }
+func (e *permanentErr) Unwrap() error { return e.err }
+
+// Run executes one sharded forward pass: partition g into Parts shards, load
+// each shard onto its ring-chosen worker, advance all shards layer by layer
+// — gathering owned rows and redistributing halo rows at every boundary —
+// and return the final |V|×dims[last] embedding matrix plus the partition
+// plan (for cost reporting). fp32 results are bit-identical to an unsharded
+// pass; int8 results are not (per-shard activation scales) and only
+// shape-compatible.
+func (p *Pool) Run(ctx context.Context, spec SessionSpec, g *graph.Graph, x *tensor.Matrix) (*tensor.Matrix, *Plan, error) {
+	if len(spec.Dims) < 2 {
+		return nil, nil, fmt.Errorf("shard: dims chain has %d entries, need ≥2: %w", len(spec.Dims), fault.ErrBadConfig)
+	}
+	if x.Rows != g.NumVertices() || x.Cols != spec.Dims[0] {
+		return nil, nil, fmt.Errorf("shard: features are %dx%d, graph wants %dx%d: %w",
+			x.Rows, x.Cols, g.NumVertices(), spec.Dims[0], fault.ErrBadShape)
+	}
+	plan, err := PartitionGraph(g, p.cfg.Parts)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.metrics.Requests.Add(1)
+
+	base := p.reqSeq.Add(1)
+	sessKey := spec.key()
+	runs := make([]*shardRun, plan.K)
+	for s := range runs {
+		runs[s] = &shardRun{
+			sub:   &plan.Shards[s],
+			reqID: base<<16 | uint64(s),
+			key:   fmt.Sprintf("%s#%d", sessKey, s),
+		}
+	}
+
+	h := x
+	// Load every shard at layer 0, in parallel.
+	if err := p.forEachShard(runs, func(sr *shardRun) error {
+		return p.loadShard(ctx, spec, sr, 0, h)
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	layers := len(spec.Dims) - 1
+	for li := 0; li < layers; li++ {
+		next := tensor.NewMatrix(g.NumVertices(), spec.Dims[li+1])
+		var scatter sync.Mutex
+		if err := p.forEachShard(runs, func(sr *shardRun) error {
+			resp, err := p.layerShard(ctx, spec, sr, li, h)
+			if err != nil {
+				return err
+			}
+			cols := int(resp.Cols)
+			scatter.Lock()
+			defer scatter.Unlock()
+			for i, lo := range sr.sub.Owned {
+				copy(next.Row(int(sr.sub.Global[lo])), resp.Rows[i*cols:(i+1)*cols])
+			}
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
+		h = next
+	}
+
+	// Best-effort finish: RunTTL reclaims anything this misses.
+	for _, sr := range runs {
+		if sr.addr != "" {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+				fmt.Sprintf("%s/v1/shard/finish?req=%d", sr.addr, sr.reqID), nil)
+			if err == nil {
+				if resp, err := p.client.Do(req); err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close()
+				}
+			}
+		}
+	}
+	return h, plan, nil
+}
+
+// forEachShard runs fn over all shards concurrently and returns the first
+// error (permanent errors preferred, so a 400 isn't masked by the cancelled
+// peers it causes).
+func (p *Pool) forEachShard(runs []*shardRun, fn func(*shardRun) error) error {
+	errs := make([]error, len(runs))
+	var wg sync.WaitGroup
+	for i, sr := range runs {
+		wg.Add(1)
+		go func(i int, sr *shardRun) {
+			defer wg.Done()
+			errs[i] = fn(sr)
+		}(i, sr)
+	}
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var pe *permanentErr
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// loadShard ships sr's subgraph (with feature rows taken from the global
+// matrix h, which holds layer li's input) to the first healthy candidate
+// worker.
+func (p *Pool) loadShard(ctx context.Context, spec SessionSpec, sr *shardRun, li int, h *tensor.Matrix) error {
+	sub := sr.sub
+	n := len(sub.Global)
+	q := &LoadRequest{
+		ReqID:     sr.reqID,
+		Model:     spec.Model,
+		Precision: spec.Precision,
+		Layer:     int32(li),
+		Owned:     sub.Owned,
+		Degrees:   sub.Degrees,
+	}
+	q.Dims = make([]int32, len(spec.Dims))
+	for i, d := range spec.Dims {
+		q.Dims[i] = int32(d)
+	}
+	q.RowPtr = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		nbrs := sub.Graph.InNeighbors(v)
+		q.RowPtr[v+1] = q.RowPtr[v] + int32(len(nbrs))
+		q.ColIdx = append(q.ColIdx, nbrs...)
+	}
+	q.Features = make([]float32, 0, n*h.Cols)
+	for _, gv := range sub.Global {
+		q.Features = append(q.Features, h.Row(int(gv))...)
+	}
+	var body bytes.Buffer
+	if err := q.Encode(&body); err != nil {
+		return err
+	}
+
+	var lastErr error
+	for _, addr := range p.candidates(sr.key) {
+		resp, err := p.post(ctx, addr+"/v1/shard/load", body.Bytes())
+		if err == nil && resp.code == http.StatusNoContent {
+			sr.addr = addr
+			return nil
+		}
+		lastErr = p.noteFailure(addr, resp, err)
+		var pe *permanentErr
+		if errors.As(lastErr, &pe) {
+			return lastErr
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return fmt.Errorf("shard %d: no worker accepted load: %w", sub.Index, lastErr)
+}
+
+// layerShard advances sr one layer, sending the halo rows its worker needs
+// from the global layer-input matrix h. If the worker died since the load,
+// the shard is reloaded at layer li on the next candidate — h is the
+// complete global state at this boundary, so failover loses nothing.
+func (p *Pool) layerShard(ctx context.Context, spec SessionSpec, sr *shardRun, li int, h *tensor.Matrix) (*LayerResponse, error) {
+	sub := sr.sub
+	q := &LayerRequest{ReqID: sr.reqID, Layer: int32(li), Cols: int32(h.Cols)}
+	if li > 0 {
+		// The load already carried layer 0's halo rows inside Features.
+		q.HaloIDs = sub.Halo
+		q.HaloRows = make([]float32, 0, len(sub.Halo)*h.Cols)
+		for _, lh := range sub.Halo {
+			q.HaloRows = append(q.HaloRows, h.Row(int(sub.Global[lh]))...)
+		}
+	}
+	var body bytes.Buffer
+	if err := q.Encode(&body); err != nil {
+		return nil, err
+	}
+	p.metrics.HaloBytesSent.Add(int64(len(q.HaloRows)) * 4)
+
+	attemptedReload := false
+	var lastErr error
+	for attempt := 0; attempt < len(p.ring.nodes)+1; attempt++ {
+		if sr.addr == "" {
+			// Worker lost between calls (or a previous attempt failed):
+			// reload this shard at the current boundary somewhere healthy.
+			// The fresh load carries h's rows, so no halo update is due.
+			if err := p.loadShard(ctx, spec, sr, li, h); err != nil {
+				return nil, err
+			}
+			p.metrics.Reloads.Add(1)
+			attemptedReload = true
+			empty := &LayerRequest{ReqID: sr.reqID, Layer: int32(li), Cols: int32(h.Cols)}
+			body.Reset()
+			if err := empty.Encode(&body); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := p.post(ctx, sr.addr+"/v1/shard/layer", body.Bytes())
+		if err == nil && resp.code == http.StatusOK {
+			lr, derr := DecodeLayerResponse(bytes.NewReader(resp.body))
+			if derr == nil {
+				if want := len(sub.Owned) * int(lr.Cols); len(lr.Rows) != want {
+					return nil, fmt.Errorf("shard %d: layer %d returned %d values, want %d: %w",
+						sub.Index, li, len(lr.Rows), want, fault.ErrBadShape)
+				}
+				p.metrics.LayerCalls.Add(1)
+				return lr, nil
+			}
+			err = derr // truncated/corrupt frame → treat as worker failure
+		}
+		lastErr = p.noteFailure(sr.addr, resp, err)
+		var pe *permanentErr
+		if errors.As(lastErr, &pe) {
+			return nil, lastErr
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		sr.addr = "" // force a reload on the next attempt
+		if attemptedReload && attempt >= len(p.ring.nodes) {
+			break
+		}
+	}
+	return nil, fmt.Errorf("shard %d: layer %d failed on every worker: %w", sub.Index, li, lastErr)
+}
+
+// postResult is one worker answer: status code plus raw body.
+type postResult struct {
+	code int
+	body []byte
+}
+
+func (p *Pool) post(ctx context.Context, url string, frame []byte) (*postResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &postResult{code: resp.StatusCode, body: body}, nil
+}
+
+// noteFailure classifies one failed worker exchange: 400s are permanent
+// (same input fails everywhere), everything else marks the worker down and
+// is retriable on the next candidate.
+func (p *Pool) noteFailure(addr string, resp *postResult, err error) error {
+	if err != nil {
+		p.markDown(addr)
+		return fmt.Errorf("worker %s: %w", addr, err)
+	}
+	var we shardError
+	msg := string(resp.body)
+	if jerr := json.Unmarshal(resp.body, &we); jerr == nil && we.Error != "" {
+		msg = we.Error
+	}
+	if resp.code == http.StatusBadRequest || resp.code == http.StatusMethodNotAllowed {
+		return &permanentErr{err: fmt.Errorf("worker %s: %s: %w", addr, msg, fault.ErrBadConfig)}
+	}
+	// 404 no_run means the worker lost our state (restart, TTL expiry): the
+	// worker itself is healthy, but the run must be reloaded. Don't mark the
+	// whole worker down for it.
+	if resp.code != http.StatusNotFound {
+		p.markDown(addr)
+	}
+	return fmt.Errorf("worker %s: status %d: %s", addr, resp.code, msg)
+}

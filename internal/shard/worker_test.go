@@ -1,0 +1,284 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"scale"
+	"scale/internal/fault"
+	"scale/internal/graph"
+	"scale/internal/noc"
+	"scale/internal/tensor"
+)
+
+func newTestSim(t *testing.T) *scale.Simulator {
+	t.Helper()
+	sim, err := scale.New(scale.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func startWorkers(t *testing.T, sim *scale.Simulator, n int) ([]string, []*Worker) {
+	t.Helper()
+	addrs := make([]string, n)
+	workers := make([]*Worker, n)
+	for i := range addrs {
+		w := NewWorker(WorkerConfig{Sim: sim})
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		t.Cleanup(w.Close)
+		addrs[i] = srv.URL
+		workers[i] = w
+	}
+	return addrs, workers
+}
+
+func unshardedReference(t *testing.T, sim *scale.Simulator, spec SessionSpec, g *graph.Graph, x *tensor.Matrix) *tensor.Matrix {
+	t.Helper()
+	sess, err := sim.NewSessionPrecision(spec.Model, spec.Dims, spec.Precision)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := x
+	for li := 0; li < sess.NumLayers(); li++ {
+		h, err = sess.ForwardLayerCSR(context.Background(), li, g, h, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+// The tentpole contract: a sharded fp32 pass is bit-identical to the
+// unsharded one at 1, 2, and 4 shards, for every model family.
+func TestPoolBitIdenticalToUnsharded(t *testing.T) {
+	sim := newTestSim(t)
+	addrs, _ := startWorkers(t, sim, 4)
+	g := graph.CommunityGraph(240, 6, 8, 17)
+	for _, model := range []string{"gcn", "gin", "gat"} {
+		spec := SessionSpec{Model: model, Dims: []int{10, 7, 4}, Precision: "fp32"}
+		x := tensor.NewMatrix(g.NumVertices(), 10)
+		for i := range x.Data {
+			x.Data[i] = float32(i%23)*0.17 - 1.5
+		}
+		want := unshardedReference(t, sim, spec, g, x)
+		for _, parts := range []int{1, 2, 4} {
+			pool, err := NewPool(PoolConfig{Workers: addrs, Parts: parts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, plan, err := pool.Run(context.Background(), spec, g, x)
+			if err != nil {
+				t.Fatalf("%s parts=%d: %v", model, parts, err)
+			}
+			if plan.K != parts {
+				t.Fatalf("%s: plan has %d shards, want %d", model, plan.K, parts)
+			}
+			if got.Rows != want.Rows || got.Cols != want.Cols {
+				t.Fatalf("%s parts=%d: shape %dx%d, want %dx%d", model, parts, got.Rows, got.Cols, want.Rows, want.Cols)
+			}
+			for i, v := range got.Data {
+				if v != want.Data[i] {
+					t.Fatalf("%s parts=%d: element %d differs: %v vs %v", model, parts, i, v, want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// int8 sharded passes run (shape-compatible) but carry no bit-identity
+// guarantee — the shared activation scale is computed per shard.
+func TestPoolInt8Runs(t *testing.T) {
+	sim := newTestSim(t)
+	addrs, _ := startWorkers(t, sim, 2)
+	g := graph.CommunityGraph(120, 4, 6, 3)
+	spec := SessionSpec{Model: "gcn", Dims: []int{8, 5}, Precision: "int8"}
+	x := tensor.NewMatrix(g.NumVertices(), 8)
+	for i := range x.Data {
+		x.Data[i] = float32(i%11) * 0.25
+	}
+	pool, err := NewPool(PoolConfig{Workers: addrs, Parts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := pool.Run(context.Background(), spec, g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != g.NumVertices() || got.Cols != 5 {
+		t.Fatalf("int8 output %dx%d, want %dx5", got.Rows, got.Cols, g.NumVertices())
+	}
+}
+
+// A worker that dies mid-pass (after serving the load and the first layer)
+// must be routed around: the pool reloads its shard at the current layer
+// boundary on another worker, and the final output is still bit-identical.
+func TestPoolMidPassFailover(t *testing.T) {
+	sim := newTestSim(t)
+	g := graph.CommunityGraph(180, 5, 7, 29)
+	spec := SessionSpec{Model: "gcn", Dims: []int{9, 6, 4}, Precision: "fp32"}
+	x := tensor.NewMatrix(g.NumVertices(), 9)
+	for i := range x.Data {
+		x.Data[i] = float32(i%13)*0.31 - 0.7
+	}
+	want := unshardedReference(t, sim, spec, g, x)
+
+	// Two workers; whichever one the ring routes shard 0 to starts failing
+	// hard after two calls (enough to accept a load and serve layer 0, then
+	// "crash"), so the failure always lands mid-pass on an owning worker.
+	var flakyAddr atomic.Value // string: the URL that should start failing
+	flakyAddr.Store("")
+	var calls atomic.Int32
+	urls := make([]string, 2)
+	for i := range urls {
+		w := NewWorker(WorkerConfig{Sim: sim})
+		t.Cleanup(w.Close)
+		self := &urls[i]
+		srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if flakyAddr.Load() == *self && strings.HasPrefix(r.URL.Path, "/v1/shard/") && calls.Add(1) > 2 {
+				rw.WriteHeader(http.StatusInternalServerError)
+				return
+			}
+			w.Handler().ServeHTTP(rw, r)
+		}))
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+
+	pool, err := NewPool(PoolConfig{Workers: urls, Parts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flakyAddr.Store(pool.ring.Lookup(spec.key() + "#0"))
+	got, _, err := pool.Run(context.Background(), spec, g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got.Data {
+		if v != want.Data[i] {
+			t.Fatalf("element %d differs after failover: %v vs %v", i, v, want.Data[i])
+		}
+	}
+	if flakyCalls := calls.Load(); flakyCalls < 3 {
+		t.Fatalf("flaky worker saw %d calls; the failure path never triggered", flakyCalls)
+	}
+	if pool.Metrics().Failovers.Load() == 0 && pool.Metrics().Reloads.Load() == 0 {
+		t.Fatal("pool recorded no failover activity")
+	}
+}
+
+// Bad input (unknown model) must abort the pass with a permanent error, not
+// cycle through every worker as if they were down.
+func TestPoolPermanentError(t *testing.T) {
+	sim := newTestSim(t)
+	addrs, workers := startWorkers(t, sim, 2)
+	g := graph.CommunityGraph(60, 2, 5, 1)
+	x := tensor.NewMatrix(g.NumVertices(), 4)
+	pool, err := NewPool(PoolConfig{Workers: addrs, Parts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = pool.Run(context.Background(), SessionSpec{Model: "no-such-model", Dims: []int{4, 2}, Precision: "fp32"}, g, x)
+	if !errors.Is(err, fault.ErrBadConfig) {
+		t.Fatalf("unknown model: err = %v, want ErrBadConfig", err)
+	}
+	for i, w := range workers {
+		if w.Metrics().Loads.Load() != 0 {
+			t.Fatalf("worker %d accepted a load for a bad model", i)
+		}
+	}
+	if _, _, err := pool.Run(context.Background(), SessionSpec{Model: "gcn", Dims: []int{4}, Precision: "fp32"}, g, x); !errors.Is(err, fault.ErrBadConfig) {
+		t.Fatalf("short dims: err = %v, want ErrBadConfig", err)
+	}
+	if _, _, err := pool.Run(context.Background(), SessionSpec{Model: "gcn", Dims: []int{5, 2}, Precision: "fp32"}, g, x); !errors.Is(err, fault.ErrBadShape) {
+		t.Fatalf("mismatched features: err = %v, want ErrBadShape", err)
+	}
+}
+
+// The worker's own contract: drain answers 503 with Retry-After, layer calls
+// on unknown runs answer 404/no_run, out-of-order layers 400.
+func TestWorkerContract(t *testing.T) {
+	sim := newTestSim(t)
+	w := NewWorker(WorkerConfig{Sim: sim})
+	defer w.Close()
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	// Layer call for a run that was never loaded → 404 no_run.
+	var body strings.Builder
+	q := &LayerRequest{ReqID: 42, Layer: 0, Cols: 1}
+	if err := q.Encode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/shard/layer", "application/octet-stream", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run: status %d, want 404", resp.StatusCode)
+	}
+
+	// GET on a data-plane endpoint → 405.
+	resp, err = http.Get(srv.URL + "/v1/shard/load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET load: status %d, want 405", resp.StatusCode)
+	}
+
+	w.BeginDrain()
+	resp, err = http.Post(srv.URL+"/v1/shard/load", "application/octet-stream", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining load: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining answer missing Retry-After")
+	}
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// Cost estimates ride along with a real pool run: the plan the pool returns
+// feeds EstimateComm directly.
+func TestPoolPlanFeedsEstimate(t *testing.T) {
+	sim := newTestSim(t)
+	addrs, _ := startWorkers(t, sim, 2)
+	g := graph.CommunityGraph(150, 3, 8, 5)
+	spec := SessionSpec{Model: "gcn", Dims: []int{6, 4, 3}, Precision: "fp32"}
+	x := tensor.NewMatrix(g.NumVertices(), 6)
+	pool, err := NewPool(PoolConfig{Workers: addrs, Parts: 2, Topology: noc.Ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plan, err := pool.Run(context.Background(), spec, g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateComm(plan, spec.Dims, 4, pool.Topology(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Shards != 2 || est.HaloVertices != plan.HaloVertices {
+		t.Fatalf("estimate does not reflect the plan: %+v", est)
+	}
+}

@@ -99,6 +99,29 @@ func sessionPlan(m *gnn.Model, prec core.Precision) quant.Plan {
 // Model returns the session's model name.
 func (sess *Session) Model() string { return sess.name }
 
+// NumLayers returns the number of message-passing layers in the session's
+// model (len(dims) − 1).
+func (sess *Session) NumLayers() int { return len(sess.model.Layers) }
+
+// LayerDims returns the model's feature-length chain: LayerDims()[li] is the
+// input width of layer li and LayerDims()[li+1] its output width. The sharded
+// serving tier sizes halo-exchange frames from it.
+func (sess *Session) LayerDims() []int { return sess.model.Dims() }
+
+// ForwardLayerCSR executes exactly one layer of the session's model over an
+// already-materialized CSR graph, returning the full |V|×OutDim output
+// matrix. degrees optionally overrides the structural degree message
+// functions see per vertex (nil = g's own in-degrees).
+//
+// This is the shard-worker primitive of the sharded serving tier
+// (internal/shard): each worker holds the subgraph of its owned vertices
+// plus halo copies of remote in-neighbors and advances one layer per call,
+// passing global degrees so halo sources normalize exactly as an unsharded
+// pass would. Outside that context, prefer Infer/InferBatch.
+func (sess *Session) ForwardLayerCSR(ctx context.Context, layer int, g *graph.Graph, x *tensor.Matrix, degrees []int32, workers int) (*tensor.Matrix, error) {
+	return sess.accel.ForwardLayerContext(ctx, sess.model, layer, g, x, degrees, workers)
+}
+
 // Dims returns a copy of the session's feature-length chain.
 func (sess *Session) Dims() []int { return append([]int(nil), sess.dims...) }
 
