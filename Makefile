@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint conform race fuzz bce bench bench-serve bench-shard bench-smoke serve-smoke shard-smoke verify
+.PHONY: build test lint conform race fuzz bce bench bench-serve bench-shard bench-smoke serve-smoke shard-smoke chaos-smoke verify
 
 # Tier 1: everything compiles and the full test suite passes.
 build:
@@ -20,7 +20,7 @@ test: build
 lint:
 	$(GO) vet ./...
 	@bad=$$(grep -rn --include='*.go' -e 'panic(' -e 'log\.Fatal' \
-	        internal/bench internal/dse internal/serve internal/baseline cmd \
+	        internal/bench internal/dse internal/serve internal/shard internal/baseline cmd \
 	    | grep -v '_test\.go:' \
 	    | grep -v 'lint:allow-panic'); \
 	if [ -n "$$bad" ]; then \
@@ -71,7 +71,7 @@ conform:
 race:
 	$(GO) test -race -timeout 10m ./internal/bench/... ./internal/dse/...
 	$(GO) test -race -timeout 10m ./internal/tensor/ ./internal/gnn/ ./internal/core/
-	$(GO) test -race -timeout 10m ./internal/serve/ ./internal/shard/ .
+	$(GO) test -race -timeout 10m ./internal/serve/ ./internal/shard/... .
 
 # Tier 3: short fuzz passes over the parsers (graph edge lists, binary
 # graph decoding, feature matrices, config JSON round-trip).
@@ -212,4 +212,100 @@ shard-smoke:
 	trap - EXIT; \
 	echo "shard-smoke: 24 sharded infers, replica killed mid-burst, failed over, drained cleanly"
 
-verify: test lint conform bce race bench-smoke serve-smoke shard-smoke
+# Chaos smoke (DESIGN §4l): boot two fault-injecting workers (latency,
+# connection resets, truncated bodies; one flapping /healthz on a 400ms
+# period) and a resilient front, plus a shard-free reference front for
+# byte-identity. Every chaos-burst response must be byte-identical to the
+# reference or a well-formed JSON error — never a hang (curl --max-time) or
+# a wrong answer. Then kill -9 one worker mid-burst (failover), kill the
+# other (full outage), and require ALL outage requests to come back
+# bit-identical via the degraded single-process fallback, with the outage
+# visible in /healthz ("degraded":true) and /metrics (scale_serve_degraded,
+# breaker-open gauge, degraded-requests counter).
+CHAOS_FRONT ?= 127.0.0.1:18341
+CHAOS_W1 ?= 127.0.0.1:18342
+CHAOS_W2 ?= 127.0.0.1:18343
+CHAOS_REF ?= 127.0.0.1:18344
+chaos-smoke:
+	$(GO) build -o /tmp/scale-shard-chaos ./cmd/scale-shard
+	$(GO) build -o /tmp/scale-serve-chaos ./cmd/scale-serve
+	@set -e; \
+	rm -f /tmp/chaos-ref-out.json /tmp/chaos-out-*.json /tmp/chaos-kill-*.json /tmp/chaos-deg-*.json; \
+	/tmp/scale-shard-chaos -addr $(CHAOS_W1) \
+	    -chaos 'latency=0.2,latency-max=15ms,reset=0.05,truncate=0.08' -chaos-seed 7 \
+	    >/tmp/scale-chaos-w1.log 2>&1 & w1=$$!; \
+	/tmp/scale-shard-chaos -addr $(CHAOS_W2) \
+	    -chaos 'latency=0.2,latency-max=15ms,reset=0.05,truncate=0.08,flap=400ms' -chaos-seed 11 \
+	    >/tmp/scale-chaos-w2.log 2>&1 & w2=$$!; \
+	/tmp/scale-serve-chaos -addr $(CHAOS_FRONT) -shards $(CHAOS_W1),$(CHAOS_W2) \
+	    -shard-min 1 -probe-interval 150ms -breaker-threshold 3 -breaker-cooldown 300ms \
+	    >/tmp/scale-chaos-front.log 2>&1 & fp=$$!; \
+	/tmp/scale-serve-chaos -addr $(CHAOS_REF) >/tmp/scale-chaos-ref.log 2>&1 & rp=$$!; \
+	trap 'kill -9 $$w1 $$w2 $$fp $$rp 2>/dev/null || true' EXIT; \
+	for u in $(CHAOS_FRONT) $(CHAOS_REF) $(CHAOS_W1); do \
+	    ok=0; for i in $$(seq 1 50); do \
+	        if curl -sf http://$$u/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+	        sleep 0.1; \
+	    done; \
+	    [ "$$ok" = 1 ] || { echo "chaos-smoke: $$u never became healthy"; exit 1; }; \
+	done; \
+	body=$$(awk 'BEGIN{n=40; \
+	    printf "{\"model\":\"gcn\",\"dims\":[6,4,3],\"timeout_ms\":8000,\"num_vertices\":%d,\"edges\":[", n; \
+	    for(i=0;i<n;i++) printf "%s[%d,%d]", (i?",":""), i, (i+1)%n; \
+	    printf "],\"features\":["; \
+	    for(i=0;i<n;i++){printf "%s[", (i?",":""); \
+	        for(j=0;j<6;j++) printf "%s%.2f", (j?",":""), ((i*7+j)%13)*0.1; \
+	        printf "]"}; \
+	    printf "]}"}'); \
+	curl -sf --max-time 15 -X POST -d "$$body" -o /tmp/chaos-ref-out.json \
+	    http://$(CHAOS_REF)/v1/infer || { echo "chaos-smoke: reference infer failed"; exit 1; }; \
+	same=0; for i in $$(seq 1 10); do \
+	    curl -s --max-time 15 -X POST -d "$$body" -o /tmp/chaos-out-$$i.json \
+	        http://$(CHAOS_FRONT)/v1/infer || true; \
+	    if cmp -s /tmp/chaos-out-$$i.json /tmp/chaos-ref-out.json; then same=$$((same+1)); \
+	    elif ! grep -q '"error"' /tmp/chaos-out-$$i.json 2>/dev/null; then \
+	        echo "chaos-smoke: response $$i is neither bit-identical nor a JSON error:"; \
+	        head -c 300 /tmp/chaos-out-$$i.json 2>/dev/null; echo; exit 1; fi; \
+	done; \
+	[ $$same -ge 8 ] || { echo "chaos-smoke: only $$same/10 responses bit-identical under chaos"; \
+	    cat /tmp/scale-chaos-front.log; exit 1; }; \
+	pids=""; for i in $$(seq 1 10); do \
+	    curl -s --max-time 20 -X POST -d "$$body" -o /tmp/chaos-kill-$$i.json \
+	        http://$(CHAOS_FRONT)/v1/infer & pids="$$pids $$!"; \
+	done; \
+	kill -9 $$w1; \
+	for p in $$pids; do wait $$p || true; done; \
+	same=0; for i in $$(seq 1 10); do \
+	    if cmp -s /tmp/chaos-kill-$$i.json /tmp/chaos-ref-out.json; then same=$$((same+1)); \
+	    elif ! grep -q '"error"' /tmp/chaos-kill-$$i.json 2>/dev/null; then \
+	        echo "chaos-smoke: post-kill response $$i is neither bit-identical nor a JSON error:"; \
+	        head -c 300 /tmp/chaos-kill-$$i.json 2>/dev/null; echo; exit 1; fi; \
+	done; \
+	[ $$same -ge 6 ] || { echo "chaos-smoke: only $$same/10 responses survived the mid-burst kill"; \
+	    cat /tmp/scale-chaos-front.log; exit 1; }; \
+	kill -9 $$w2; sleep 1.2; \
+	for i in $$(seq 1 5); do \
+	    curl -sf --max-time 15 -X POST -d "$$body" -o /tmp/chaos-deg-$$i.json \
+	        http://$(CHAOS_FRONT)/v1/infer || { echo "chaos-smoke: degraded request $$i failed"; \
+	        cat /tmp/scale-chaos-front.log; exit 1; }; \
+	    cmp -s /tmp/chaos-deg-$$i.json /tmp/chaos-ref-out.json || \
+	        { echo "chaos-smoke: degraded response $$i not bit-identical"; exit 1; }; \
+	done; \
+	curl -sf http://$(CHAOS_FRONT)/healthz | grep -q '"degraded":true' || \
+	    { echo "chaos-smoke: /healthz does not surface degraded mode"; exit 1; }; \
+	metrics=$$(curl -sf http://$(CHAOS_FRONT)/metrics); \
+	echo "$$metrics" | grep -q '^scale_serve_degraded 1' || \
+	    { echo "chaos-smoke: scale_serve_degraded gauge not 1 during outage"; exit 1; }; \
+	echo "$$metrics" | grep -q 'scale_shard_pool_retries_total' || \
+	    { echo "chaos-smoke: retries counter missing from /metrics"; exit 1; }; \
+	echo "$$metrics" | grep -Eq 'scale_shard_pool_breaker_open [1-9]' || \
+	    { echo "chaos-smoke: breaker-open gauge never tripped"; exit 1; }; \
+	echo "$$metrics" | grep -Eq 'scale_serve_degraded_requests_total [1-9]' || \
+	    { echo "chaos-smoke: degraded fallback counter never moved"; exit 1; }; \
+	kill -TERM $$fp; wait $$fp || { echo "chaos-smoke: unclean front drain"; \
+	    cat /tmp/scale-chaos-front.log; exit 1; }; \
+	kill -TERM $$rp; wait $$rp || { echo "chaos-smoke: unclean reference drain"; exit 1; }; \
+	trap - EXIT; \
+	echo "chaos-smoke: chaos burst bit-identical-or-erred, mid-burst kill failed over, full outage served degraded, drained cleanly"
+
+verify: test lint conform bce race bench-smoke serve-smoke shard-smoke chaos-smoke

@@ -61,6 +61,10 @@ func run(ctx context.Context) error {
 		shardParts   = fs.Int("shard-parts", 0, "graph partitions per sharded request (0 = one per worker)")
 		topology     = fs.String("topology", "ring", "NoC topology costing the halo exchange: "+strings.Join(noc.KindNames(), ", "))
 		shardMin     = fs.Int("shard-min", 256, "smallest request (vertices) routed to the shard tier; below it stays on the local micro-batcher")
+		probeEvery   = fs.Duration("probe-interval", 2*time.Second, "worker health-probe interval (jittered ±20%)")
+		breakerN     = fs.Int("breaker-threshold", 3, "consecutive worker failures before its circuit breaker opens")
+		breakerCool  = fs.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before a half-open probe")
+		shardRetries = fs.Int("shard-retries", 3, "in-place retries per worker call on 429/503 transients")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget after SIGTERM")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -102,13 +106,18 @@ func run(ctx context.Context) error {
 			}
 		}
 		pool, err = shard.NewPool(shard.PoolConfig{
-			Workers:  workers,
-			Parts:    *shardParts,
-			Topology: topo,
+			Workers:          workers,
+			Parts:            *shardParts,
+			Topology:         topo,
+			ProbeInterval:    *probeEvery,
+			BreakerThreshold: *breakerN,
+			DownFor:          *breakerCool,
+			MaxRetries:       *shardRetries,
 		})
 		if err != nil {
 			return err
 		}
+		pool.StartProber()
 	}
 	srv := serve.New(serve.Config{
 		Sim:              sim,
@@ -151,6 +160,9 @@ func run(ctx context.Context) error {
 	defer cancel()
 	err = httpSrv.Shutdown(shCtx)
 	srv.Close()
+	if pool != nil {
+		pool.Close()
+	}
 	if err != nil {
 		return fmt.Errorf("scale-serve: drain incomplete: %w", err)
 	}

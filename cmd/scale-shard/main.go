@@ -34,6 +34,7 @@ import (
 	"scale"
 	"scale/internal/cli"
 	"scale/internal/shard"
+	"scale/internal/shard/chaosnet"
 )
 
 func main() { cli.Main("scale-shard", run) }
@@ -50,6 +51,8 @@ func run(ctx context.Context) error {
 		runs         = fs.Int("runs", 64, "concurrent shard-run capacity (overflow answers 429)")
 		runTTL       = fs.Duration("run-ttl", 2*time.Minute, "idle run eviction (reclaims runs whose front tier died)")
 		workers      = fs.Int("workers", 0, "goroutines per layer call (0 = accelerator default)")
+		chaosSpec    = fs.String("chaos", "", "fault-injection spec, e.g. \"latency=0.3,reset=0.05,truncate=0.1,flap=400ms\" (chaosnet.Parse; empty disables)")
+		chaosSeed    = fs.Int64("chaos-seed", 0, "seed for the -chaos fault stream (0 = clock)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget after SIGTERM")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -61,6 +64,11 @@ func run(ctx context.Context) error {
 	if fs.NArg() > 0 {
 		return cli.Usagef("unexpected arguments %v", fs.Args())
 	}
+	chaosCfg, err := chaosnet.Parse(*chaosSpec)
+	if err != nil {
+		return cli.Usagef("bad -chaos: %v", err)
+	}
+	chaosCfg.Seed = *chaosSeed
 
 	sim, err := scale.New(scale.Options{MACs: *macs, RingSize: *ring, BatchSize: *batch, Scheduling: *policy})
 	if err != nil {
@@ -73,9 +81,13 @@ func run(ctx context.Context) error {
 		RunTTL:         *runTTL,
 		ForwardWorkers: *workers,
 	})
+	handler := worker.Handler()
+	if chaosCfg.Active() {
+		handler = chaosnet.Middleware(handler, chaosCfg)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           worker.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -83,6 +95,9 @@ func run(ctx context.Context) error {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "scale-shard: listening on %s (runs=%d sessions=%d ttl=%s)\n",
 		*addr, *runs, *sessions, *runTTL)
+	if chaosCfg.Active() {
+		fmt.Fprintf(os.Stderr, "scale-shard: CHAOS enabled (%s, seed=%d) — injecting faults into /v1/ responses\n", *chaosSpec, *chaosSeed)
+	}
 
 	select {
 	case err := <-errc:

@@ -72,13 +72,18 @@ type errorResponse struct {
 	Kind  string `json:"kind"`
 }
 
-// healthResponse is the GET /healthz payload.
+// healthResponse is the GET /healthz payload. The shard fields only appear
+// on a pool-fronting server: Degraded means every worker's circuit breaker
+// is open and infer requests are being served by the local single-process
+// fallback (fp32 results stay bit-identical by construction).
 type healthResponse struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Sessions      int     `json:"sessions"`
-	QueueInUse    int     `json:"queue_in_use"`
-	QueueDepth    int     `json:"queue_depth"`
+	Status           string  `json:"status"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Sessions         int     `json:"sessions"`
+	QueueInUse       int     `json:"queue_in_use"`
+	QueueDepth       int     `json:"queue_depth"`
+	ShardWorkersLive *int    `json:"shard_workers_live,omitempty"`
+	Degraded         *bool   `json:"degraded,omitempty"`
 }
 
 // classify maps an error to its HTTP status and error kind, in precedence
@@ -218,6 +223,13 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		s.handleInferSharded(w, r, body, precision)
 		return
 	}
+	s.inferLocal(w, r, body, precision)
+}
+
+// inferLocal serves one infer request on this process: session cache →
+// micro-batcher → batched forward. It is the non-sharded path of
+// handleInfer and the degraded-mode fallback of the sharded one.
+func (s *Server) inferLocal(w http.ResponseWriter, r *http.Request, body inferBody, precision string) {
 	entry, err := s.session(body.Model, body.Dims, precision)
 	if err != nil {
 		s.writeMapped(w, err)
@@ -258,10 +270,21 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 // the graph is materialized, partitioned, and fanned across the pool's
 // workers layer by layer. The response shape is exactly handleInfer's local
 // path — at fp32 the two are byte-identical (TestShardedServingGolden) —
-// and the front tier never builds a model: weights live only on workers.
+// and the front tier in the healthy case never builds a model: weights live
+// only on workers.
+//
+// Degraded mode: when the pool has no live workers (every breaker open), or
+// the pass fails for an infrastructure reason retrying cannot fix here, the
+// request falls back to local single-process inference instead of failing —
+// fp32 answers are bit-identical either way, so the client only sees the
+// difference in /healthz and the scale_serve_degraded gauge.
 func (s *Server) handleInferSharded(w http.ResponseWriter, r *http.Request, body inferBody, precision string) {
 	if err := validateShardBody(&body); err != nil {
 		s.writeMapped(w, err)
+		return
+	}
+	if s.cfg.ShardPool.Degraded() {
+		s.serveDegraded(w, r, body, precision)
 		return
 	}
 	b := graph.NewBuilder(body.NumVertices)
@@ -283,6 +306,10 @@ func (s *Server) handleInferSharded(w http.ResponseWriter, r *http.Request, body
 
 	out, _, err := s.cfg.ShardPool.Run(ctx, shard.SessionSpec{Model: body.Model, Dims: body.Dims, Precision: precision}, g, x)
 	if err != nil {
+		if fallbackEligible(err) {
+			s.serveDegraded(w, r, body, precision)
+			return
+		}
 		s.writeMapped(w, err)
 		return
 	}
@@ -291,6 +318,33 @@ func (s *Server) handleInferSharded(w http.ResponseWriter, r *http.Request, body
 		rows[v] = out.Row(v)
 	}
 	writeJSON(w, http.StatusOK, inferResponse{Model: body.Model, Precision: precision, Embeddings: rows})
+}
+
+// serveDegraded answers one sharded-path request on the local session cache.
+func (s *Server) serveDegraded(w http.ResponseWriter, r *http.Request, body inferBody, precision string) {
+	s.metrics.DegradedRequests.Add(1)
+	s.inferLocal(w, r, body, precision)
+}
+
+// fallbackEligible decides whether a failed sharded pass may be retried
+// locally: infrastructure failures (workers unreachable, every candidate
+// exhausted) are; the caller's own problems are not — bad input must keep
+// its 400, a spent deadline its 408, and a contained panic its 500 (the
+// panic would likely reproduce locally).
+func fallbackEligible(err error) bool {
+	if err == nil {
+		return false
+	}
+	if _, ok := fault.AsPanic(err); ok {
+		return false
+	}
+	if fault.IsInput(err) {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true
 }
 
 // validateShardBody mirrors scale.Session.Validate for the sharded path,
@@ -380,16 +434,28 @@ func (s *Server) shardEstimate(dataset string, cycles int64) (*shard.CommEstimat
 // balancers stop routing before shutdown completes.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, code := "ok", http.StatusOK
-	if s.Draining() {
-		status, code = "draining", http.StatusServiceUnavailable
-	}
-	writeJSON(w, code, healthResponse{
-		Status:        status,
+	resp := healthResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Sessions:      s.LiveSessions(),
 		QueueInUse:    s.queue.inUse(),
 		QueueDepth:    s.queue.depth(),
-	})
+	}
+	if s.cfg.ShardPool != nil {
+		live := s.cfg.ShardPool.LiveWorkers()
+		degraded := s.cfg.ShardPool.Degraded()
+		resp.ShardWorkersLive = &live
+		resp.Degraded = &degraded
+		if degraded {
+			// Still 200: the node serves every request via the local
+			// fallback; load balancers should keep routing here.
+			status = "degraded"
+		}
+	}
+	if s.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	resp.Status = status
+	writeJSON(w, code, resp)
 }
 
 // handleMetrics renders the Prometheus text exposition.
@@ -397,6 +463,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.Render(w, s.LiveSessions())
 	if s.cfg.ShardPool != nil {
+		degraded := 0
+		if s.cfg.ShardPool.Degraded() {
+			degraded = 1
+		}
+		fmt.Fprintf(w, "# HELP scale_serve_degraded Whether the shard pool has no live workers and infers run on the local fallback.\n# TYPE scale_serve_degraded gauge\nscale_serve_degraded %d\n", degraded)
 		s.cfg.ShardPool.WritePrometheus(w)
 	}
 }

@@ -63,6 +63,9 @@ type Metrics struct {
 	BatchedRequests atomic.Int64
 	// QueueRejections counts 429s from the bounded admission queue.
 	QueueRejections atomic.Int64
+	// DegradedRequests counts sharded-path requests served by the local
+	// single-process fallback because the worker pool was unavailable.
+	DegradedRequests atomic.Int64
 	// PanicsContained counts backend panics isolated into 500s.
 	PanicsContained atomic.Int64
 	// SessionsCreated and SessionsEvicted track the session cache.
@@ -162,6 +165,7 @@ func (m *Metrics) Render(w io.Writer, liveSessions int) {
 	counter("scale_serve_batches_total", "Micro-batches executed.", m.Batches.Load())
 	counter("scale_serve_batch_requests_total", "Requests carried by micro-batches.", m.BatchedRequests.Load())
 	counter("scale_serve_queue_rejections_total", "Requests rejected by the admission queue (429).", m.QueueRejections.Load())
+	counter("scale_serve_degraded_requests_total", "Sharded-path requests served by the local single-process fallback.", m.DegradedRequests.Load())
 	counter("scale_serve_panics_contained_total", "Backend panics isolated into 500 responses.", m.PanicsContained.Load())
 	counter("scale_serve_sessions_created_total", "Sessions constructed by the cache.", m.SessionsCreated.Load())
 	counter("scale_serve_sessions_evicted_total", "Sessions evicted by the cache.", m.SessionsEvicted.Load())

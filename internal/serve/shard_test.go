@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"scale"
 	"scale/internal/graph"
@@ -189,5 +190,109 @@ func TestSimulateShardingEstimate(t *testing.T) {
 		if !strings.Contains(metrics, want) {
 			t.Fatalf("/metrics missing %q", want)
 		}
+	}
+}
+
+// Full-pool outage: a front whose every worker is dead still answers
+// shard-sized infers — bit-identically, via the local single-process
+// fallback — and surfaces the outage in /healthz and /metrics.
+func TestDegradedFallback(t *testing.T) {
+	sim, err := scale.New(scale.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.CommunityGraph(150, 4, 8, 23)
+	body := map[string]any{
+		"model": "gcn", "dims": []int{7, 5, 3},
+		"num_vertices": g.NumVertices(),
+	}
+	var edges [][2]int
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.InNeighbors(v) {
+			edges = append(edges, [2]int{int(u), v})
+		}
+	}
+	feats := make([][]float32, g.NumVertices())
+	for v := range feats {
+		row := make([]float32, 7)
+		for j := range row {
+			row[j] = float32((v*13+j*5)%17)*0.19 - 0.8
+		}
+		feats[v] = row
+	}
+	body["edges"] = edges
+	body["features"] = feats
+
+	plain := New(Config{Sim: sim})
+	defer plain.Close()
+	wantCode, want := postBody(t, plain.Handler(), "/v1/infer", body)
+	if wantCode != http.StatusOK {
+		t.Fatalf("plain infer: status %d: %s", wantCode, want)
+	}
+
+	// A worker address that is guaranteed dead: boot a server, take its port,
+	// shut it down.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	pool, err := shard.NewPool(shard.PoolConfig{
+		Workers:          []string{deadURL},
+		BreakerThreshold: 1,
+		DownFor:          time.Minute,
+		RequestTimeout:   2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Sim: sim, ShardPool: pool})
+	defer srv.Close()
+
+	// First request: the pool still believes its worker alive, discovers the
+	// outage on the data plane, and the serve layer falls back locally.
+	code, got := postBody(t, srv.Handler(), "/v1/infer", body)
+	if code != http.StatusOK {
+		t.Fatalf("dead-pool infer: status %d: %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("degraded fallback response differs from single-process serving")
+	}
+	if srv.Metrics().DegradedRequests.Load() == 0 {
+		t.Fatal("fallback did not count as a degraded request")
+	}
+
+	// Second request: the breaker is open now, so the degraded pre-check
+	// short-circuits before any worker I/O.
+	code, got = postBody(t, srv.Handler(), "/v1/infer", body)
+	if code != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("degraded pre-check infer: status %d, identical=%v", code, bytes.Equal(got, want))
+	}
+	if srv.Metrics().DegradedRequests.Load() < 2 {
+		t.Fatalf("degraded requests = %d, want ≥2", srv.Metrics().DegradedRequests.Load())
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded /healthz status %d, want 200 (still serving)", rec.Code)
+	}
+	health := rec.Body.String()
+	for _, frag := range []string{`"status":"degraded"`, `"degraded":true`, `"shard_workers_live":0`} {
+		if !strings.Contains(health, frag) {
+			t.Fatalf("/healthz %q missing %q", health, frag)
+		}
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	metrics := rec.Body.String()
+	for _, frag := range []string{"scale_serve_degraded 1", "scale_shard_pool_breaker_open 1", "scale_shard_pool_workers_live 0"} {
+		if !strings.Contains(metrics, frag) {
+			t.Fatalf("/metrics missing %q", frag)
+		}
+	}
+	if !strings.Contains(metrics, "scale_serve_degraded_requests_total 2") {
+		t.Fatalf("/metrics degraded counter wrong:\n%s", metrics)
 	}
 }

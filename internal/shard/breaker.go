@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed admits every call; consecutive failures trip it open.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses calls until the cooldown elapses, then admits one
+	// half-open probe.
+	BreakerOpen
+	// BreakerHalfOpen has one probe in flight (or available): success closes
+	// the breaker, failure re-opens it for another cooldown.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-worker circuit breaker: closed → open after `threshold`
+// consecutive failures → half-open single probe after `cooldown` → closed on
+// probe success, open again on probe failure. Outcomes come from two feeds —
+// the pool's active health prober and the data plane's own exchanges — both
+// of which call Success/Failure; either feed can close a breaker the other
+// opened. Safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test hook
+
+	mu      sync.Mutex
+	state   BreakerState
+	fails   int       // consecutive failures while closed
+	until   time.Time // open: earliest half-open probe
+	probing bool      // half-open: the single probe slot is taken
+	trips   int64     // cumulative closed/half-open → open transitions
+}
+
+// NewBreaker builds a closed breaker. Non-positive threshold and cooldown
+// select the pool defaults (3 failures, 1s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a call may be sent now. In the open state it flips to
+// half-open once the cooldown has elapsed; in the half-open state it admits
+// exactly one caller — the probe — until Success or Failure settles it.
+// Callers that take the probe slot must report the outcome.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Before(b.until) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Available reports whether Allow would admit a call, without claiming the
+// half-open probe slot — the pool uses it to order failover candidates.
+func (b *Breaker) Available() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return !b.now().Before(b.until)
+	default:
+		return !b.probing
+	}
+}
+
+// Success records a healthy exchange: the breaker closes from any state.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a failed exchange. A closed breaker trips after threshold
+// consecutive failures; a half-open probe failure re-opens immediately; a
+// failure reported while already open (an in-flight straggler, a failed
+// health probe) refreshes the cooldown so the breaker stays open.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.tripLocked()
+		}
+	case BreakerHalfOpen:
+		b.tripLocked()
+	case BreakerOpen:
+		b.until = b.now().Add(b.cooldown)
+	}
+}
+
+func (b *Breaker) tripLocked() {
+	b.state = BreakerOpen
+	b.until = b.now().Add(b.cooldown)
+	b.fails = 0
+	b.probing = false
+	b.trips++
+}
+
+// State returns the breaker's current position. An open breaker whose
+// cooldown has elapsed still reports open until a call actually probes it.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns the cumulative number of times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// The breaker state machine, driven with a fake clock: closed → open after
+// threshold consecutive failures → half-open single probe after the cooldown
+// → closed on success / open again on failure, with open-state failures
+// refreshing the cooldown.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreaker(3, time.Second)
+	b.now = func() time.Time { return now }
+
+	if b.State() != BreakerClosed || !b.Allow() || !b.Available() {
+		t.Fatal("new breaker must be closed and admitting")
+	}
+
+	// Two failures: still closed (threshold 3). A success resets the count.
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", b.State())
+	}
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("success must reset the consecutive-failure count")
+	}
+
+	// Third consecutive failure trips it open.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.State())
+	}
+	if b.Allow() || b.Available() {
+		t.Fatal("open breaker within cooldown must refuse calls")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+
+	// A failure while open refreshes the cooldown.
+	now = now.Add(600 * time.Millisecond)
+	b.Failure()
+	now = now.Add(600 * time.Millisecond) // 1.2s after trip, but only 0.6s after refresh
+	if b.Allow() {
+		t.Fatal("open-state failure must refresh the cooldown")
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: breaker must admit a half-open probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", b.State())
+	}
+	if b.Allow() || b.Available() {
+		t.Fatal("half-open breaker must admit only one probe")
+	}
+
+	// Probe failure re-opens for another cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("probe failure: state=%v trips=%d, want open/2", b.State(), b.Trips())
+	}
+
+	// Next probe succeeds: closed again, fully admitting.
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second cooldown elapsed: probe must be admitted")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() || !b.Allow() {
+		t.Fatal("probe success must close the breaker for all callers")
+	}
+}
+
+// Available must report admissibility without claiming the half-open probe
+// slot, so ordering failover candidates cannot starve the actual probe.
+func TestBreakerAvailableDoesNotClaimProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(1, time.Second)
+	b.now = func() time.Time { return now }
+	b.Failure()
+	now = now.Add(2 * time.Second)
+	if !b.Available() || !b.Available() {
+		t.Fatal("expired-cooldown breaker must look available, repeatedly")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("Available must not transition the state")
+	}
+	if !b.Allow() {
+		t.Fatal("probe slot must still be claimable after Available calls")
+	}
+}
+
+// Concurrent trips, probes, and recoveries under -race: the breaker must
+// stay internally consistent whatever the interleaving.
+func TestBreakerConcurrent(t *testing.T) {
+	b := NewBreaker(2, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				if b.Allow() && (i+g)%3 == 0 {
+					b.Failure()
+				} else {
+					b.Success()
+				}
+				_ = b.Available()
+				_ = b.State()
+				_ = b.Trips()
+			}
+		}(g)
+	}
+	wg.Wait()
+	switch b.State() {
+	case BreakerClosed, BreakerOpen, BreakerHalfOpen:
+	default:
+		t.Fatalf("breaker ended in invalid state %v", b.State())
+	}
+	if got := b.State().String(); got == "unknown" {
+		t.Fatalf("state %d has no name", b.State())
+	}
+}

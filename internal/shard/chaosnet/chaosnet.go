@@ -1,0 +1,363 @@
+// Package chaosnet injects deterministic network faults into the sharded
+// serving tier's HTTP plane, so the mid-pass-failover and degraded-mode
+// guarantees can be proven under latency, partial writes, and flapping
+// workers — not just kill -9.
+//
+// Two injection points cover both sides of a connection:
+//
+//   - Middleware wraps a worker's http.Handler (scale-shard -chaos): it
+//     delays, resets, truncates, or slow-drips data-plane responses, and
+//     flaps /healthz between 200 and 503 on a fixed period.
+//   - Transport wraps a client http.RoundTripper (pool tests): it delays
+//     requests, synthesizes connection resets, and truncates or paces
+//     response bodies before the caller sees them.
+//
+// All probabilistic draws come from one seeded math/rand stream per
+// instance, so a given seed replays the same fault sequence for the same
+// call sequence. Fault decisions are made only for data-plane paths
+// (/v1/...): /healthz answers flap on wall-clock windows (not draws) and
+// /metrics is never disturbed, so scrape assertions stay reliable.
+package chaosnet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config sets the fault mix. All probabilities are in [0, 1]; zero values
+// disable that fault.
+type Config struct {
+	// Seed fixes the random stream (0 seeds from the clock).
+	Seed int64
+	// Latency is the probability of delaying a call by up to LatencyMax.
+	Latency float64
+	// LatencyMax bounds one injected delay (default 50ms).
+	LatencyMax time.Duration
+	// Reset is the probability of aborting the exchange with no usable
+	// response: the middleware drops the connection before writing, the
+	// transport returns a synthetic connection-reset error.
+	Reset float64
+	// Truncate is the probability of cutting the response body mid-frame:
+	// the client sees a partial, well-prefixed body and then EOF.
+	Truncate float64
+	// Slow is the probability of dripping the response body in small
+	// chunks, SlowPace apart — slow enough to exercise deadline handling,
+	// not a full stall.
+	Slow float64
+	// SlowPace is the per-chunk delay of a slow response (default 5ms).
+	SlowPace time.Duration
+	// Flap alternates /healthz between healthy and 503 windows of this
+	// length (0 never flaps). Only Middleware uses it.
+	Flap time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+	if c.LatencyMax <= 0 {
+		c.LatencyMax = 50 * time.Millisecond
+	}
+	if c.SlowPace <= 0 {
+		c.SlowPace = 5 * time.Millisecond
+	}
+	return c
+}
+
+// Parse decodes a comma-separated fault spec, e.g.
+//
+//	"latency=0.3,latency-max=30ms,reset=0.05,truncate=0.1,slow=0.05,slow-pace=2ms,flap=400ms"
+//
+// Keys latency/reset/truncate/slow take probabilities; latency-max,
+// slow-pace, and flap take durations. Unknown keys and malformed values are
+// errors. An empty spec is the zero Config (no faults).
+func Parse(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return cfg, fmt.Errorf("chaosnet: %q is not key=value", part)
+		}
+		switch key {
+		case "latency", "reset", "truncate", "slow":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return cfg, fmt.Errorf("chaosnet: %s wants a probability in [0,1], got %q", key, val)
+			}
+			switch key {
+			case "latency":
+				cfg.Latency = p
+			case "reset":
+				cfg.Reset = p
+			case "truncate":
+				cfg.Truncate = p
+			case "slow":
+				cfg.Slow = p
+			}
+		case "latency-max", "slow-pace", "flap":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return cfg, fmt.Errorf("chaosnet: %s wants a duration, got %q", key, val)
+			}
+			switch key {
+			case "latency-max":
+				cfg.LatencyMax = d
+			case "slow-pace":
+				cfg.SlowPace = d
+			case "flap":
+				cfg.Flap = d
+			}
+		default:
+			return cfg, fmt.Errorf("chaosnet: unknown fault %q", key)
+		}
+	}
+	return cfg, nil
+}
+
+// Active reports whether the config injects any fault at all.
+func (c Config) Active() bool {
+	return c.Latency > 0 || c.Reset > 0 || c.Truncate > 0 || c.Slow > 0 || c.Flap > 0
+}
+
+// chaos is the shared seeded fault roller.
+type chaos struct {
+	cfg   Config
+	start time.Time
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newChaos(cfg Config) *chaos {
+	cfg = cfg.withDefaults()
+	return &chaos{cfg: cfg, start: time.Now(), rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// roll draws one Bernoulli sample from the seeded stream.
+func (c *chaos) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64() < p
+}
+
+// delay draws one latency in (0, LatencyMax].
+func (c *chaos) delay() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.rng.Int63n(int64(c.cfg.LatencyMax))) + 1
+}
+
+// flappedDown reports whether the wall clock sits in a down window: windows
+// alternate up/down every cfg.Flap since construction.
+func (c *chaos) flappedDown() bool {
+	if c.cfg.Flap <= 0 {
+		return false
+	}
+	return (time.Since(c.start)/c.cfg.Flap)%2 == 1
+}
+
+// Middleware wraps a worker handler with server-side fault injection.
+// Data-plane calls (/v1/...) roll latency, reset, truncation, and slow-drip
+// faults; /healthz flaps on the configured period; everything else —
+// /metrics in particular — passes through untouched.
+func Middleware(next http.Handler, cfg Config) http.Handler {
+	c := newChaos(cfg)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			if c.flappedDown() {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				_, _ = w.Write([]byte(`{"status":"chaos-flap"}`))
+				return
+			}
+			next.ServeHTTP(w, r)
+			return
+		}
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if c.roll(c.cfg.Latency) {
+			time.Sleep(c.delay())
+		}
+		if c.roll(c.cfg.Reset) {
+			// Abort the connection before any byte of the response: the
+			// client sees a reset/EOF, exactly like a worker crash between
+			// accept and write. ErrAbortHandler is net/http's sanctioned
+			// way to do this without a stack trace in the logs.
+			panic(http.ErrAbortHandler) // lint:allow-panic — deliberate connection abort
+		}
+		rec := &captureWriter{header: make(http.Header)}
+		next.ServeHTTP(rec, r)
+		copyHeader(w.Header(), rec.header)
+		if c.roll(c.cfg.Truncate) && len(rec.body) > 1 {
+			w.WriteHeader(rec.status())
+			_, _ = w.Write(rec.body[:len(rec.body)/2])
+			panic(http.ErrAbortHandler) // lint:allow-panic — truncate mid-body, then drop the connection
+		}
+		w.WriteHeader(rec.status())
+		if c.roll(c.cfg.Slow) {
+			flusher, _ := w.(http.Flusher)
+			const chunk = 256
+			for off := 0; off < len(rec.body); off += chunk {
+				end := off + chunk
+				if end > len(rec.body) {
+					end = len(rec.body)
+				}
+				if _, err := w.Write(rec.body[off:end]); err != nil {
+					return
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+				time.Sleep(c.cfg.SlowPace)
+			}
+			return
+		}
+		_, _ = w.Write(rec.body)
+	})
+}
+
+// captureWriter buffers a handler's full response so the middleware can
+// decide, after the fact, how much of it the client gets to see.
+type captureWriter struct {
+	header http.Header
+	code   int
+	body   []byte
+}
+
+func (c *captureWriter) Header() http.Header { return c.header }
+
+func (c *captureWriter) WriteHeader(code int) {
+	if c.code == 0 {
+		c.code = code
+	}
+}
+
+func (c *captureWriter) Write(b []byte) (int, error) {
+	c.body = append(c.body, b...)
+	return len(b), nil
+}
+
+func (c *captureWriter) status() int {
+	if c.code == 0 {
+		return http.StatusOK
+	}
+	return c.code
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// resetErr is the transport's synthetic connection failure.
+type resetErr struct{}
+
+func (resetErr) Error() string   { return "chaosnet: connection reset" }
+func (resetErr) Timeout() bool   { return false }
+func (resetErr) Temporary() bool { return true }
+
+// Transport is a fault-injecting http.RoundTripper for client-side chaos:
+// the pool under test talks to perfectly healthy workers through a faulty
+// network. Only data-plane paths (/v1/...) are disturbed.
+type Transport struct {
+	c    *chaos
+	base http.RoundTripper
+}
+
+// NewTransport wraps base (nil selects http.DefaultTransport).
+func NewTransport(base http.RoundTripper, cfg Config) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{c: newChaos(cfg), base: base}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		return t.base.RoundTrip(r)
+	}
+	if t.c.roll(t.c.cfg.Latency) {
+		d := t.c.delay()
+		select {
+		case <-time.After(d):
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		}
+	}
+	if t.c.roll(t.c.cfg.Reset) {
+		return nil, resetErr{}
+	}
+	resp, err := t.base.RoundTrip(r)
+	if err != nil {
+		return nil, err
+	}
+	if t.c.roll(t.c.cfg.Truncate) {
+		resp.Body = &truncateReader{rc: resp.Body, budget: 8} // enough for a frame prefix, never a whole frame
+	} else if t.c.roll(t.c.cfg.Slow) {
+		resp.Body = &pacedReader{rc: resp.Body, pace: t.c.cfg.SlowPace}
+	}
+	return resp, nil
+}
+
+// truncateReader yields at most budget bytes, then reports an unexpected
+// end of stream — the signature of a connection cut mid-body.
+type truncateReader struct {
+	rc     io.ReadCloser
+	budget int
+}
+
+func (t *truncateReader) Read(p []byte) (int, error) {
+	if t.budget <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > t.budget {
+		p = p[:t.budget]
+	}
+	n, err := t.rc.Read(p)
+	t.budget -= n
+	if err == io.EOF {
+		return n, err
+	}
+	if t.budget <= 0 {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+	}
+	return n, err
+}
+
+func (t *truncateReader) Close() error { return t.rc.Close() }
+
+// pacedReader drips the body in 256-byte reads, pace apart.
+type pacedReader struct {
+	rc   io.ReadCloser
+	pace time.Duration
+}
+
+func (s *pacedReader) Read(p []byte) (int, error) {
+	if len(p) > 256 {
+		p = p[:256]
+	}
+	time.Sleep(s.pace)
+	return s.rc.Read(p)
+}
+
+func (s *pacedReader) Close() error { return s.rc.Close() }

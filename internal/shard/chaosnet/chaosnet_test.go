@@ -1,0 +1,158 @@
+package chaosnet
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParse(t *testing.T) {
+	cfg, err := Parse("latency=0.3,latency-max=30ms,reset=0.05,truncate=0.1,slow=0.05,slow-pace=2ms,flap=400ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Latency != 0.3 || cfg.LatencyMax != 30*time.Millisecond ||
+		cfg.Reset != 0.05 || cfg.Truncate != 0.1 || cfg.Slow != 0.05 ||
+		cfg.SlowPace != 2*time.Millisecond || cfg.Flap != 400*time.Millisecond {
+		t.Fatalf("parsed config wrong: %+v", cfg)
+	}
+	if !cfg.Active() {
+		t.Fatal("parsed config must be active")
+	}
+
+	if cfg, err := Parse("  "); err != nil || cfg.Active() {
+		t.Fatalf("empty spec: cfg=%+v err=%v, want inert zero config", cfg, err)
+	}
+	for _, bad := range []string{"bogus=1", "latency=2", "latency=x", "flap=soon", "latency"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+// The same seed must replay the same fault decisions — the whole point of a
+// deterministic chaos harness.
+func TestSeededDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, Latency: 0.5, LatencyMax: 10 * time.Millisecond}
+	a, b := newChaos(cfg), newChaos(cfg)
+	for i := 0; i < 300; i++ {
+		if a.roll(0.5) != b.roll(0.5) {
+			t.Fatalf("roll %d diverged across same-seed instances", i)
+		}
+		if a.delay() != b.delay() {
+			t.Fatalf("delay %d diverged across same-seed instances", i)
+		}
+	}
+}
+
+// Middleware scope: /healthz flaps on wall-clock windows, /metrics is never
+// disturbed, and data-plane resets actually kill the connection.
+func TestMiddlewareScopeAndFlap(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	})
+	srv := httptest.NewServer(Middleware(inner, Config{Seed: 1, Reset: 1, Flap: 300 * time.Millisecond}))
+	t.Cleanup(srv.Close)
+
+	// First flap window is up: /healthz passes through.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz in the up window: resp=%v err=%v", resp, err)
+	}
+	resp.Body.Close()
+
+	// /metrics is exempt even at reset=1.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics must never be disturbed: resp=%v err=%v", resp, err)
+	}
+	resp.Body.Close()
+
+	// Data plane at reset=1: the connection dies before a response.
+	if resp, err := http.Post(srv.URL+"/v1/shard/load", "application/octet-stream", strings.NewReader("x")); err == nil {
+		resp.Body.Close()
+		t.Fatal("reset=1 data-plane call returned a response, want a dead connection")
+	}
+
+	// Second flap window is down: /healthz answers 503.
+	time.Sleep(350 * time.Millisecond)
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz in the down window: status %d, want 503", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "chaos-flap") {
+		t.Fatalf("flap body %q does not identify itself", body)
+	}
+}
+
+// Middleware truncation: the client sees a strict prefix of the body, then a
+// dead connection — never a quietly complete wrong answer.
+func TestMiddlewareTruncate(t *testing.T) {
+	payload := strings.Repeat("a", 4096)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(payload))
+	})
+	srv := httptest.NewServer(Middleware(inner, Config{Seed: 3, Truncate: 1}))
+	t.Cleanup(srv.Close)
+	resp, err := http.Post(srv.URL+"/v1/shard/layer", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		return // connection died before headers — also a valid truncation outcome
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(resp.Body)
+	if rerr == nil && len(body) >= len(payload) {
+		t.Fatalf("truncate=1 delivered the full %d-byte body intact", len(body))
+	}
+	if len(body) > 0 && !strings.HasPrefix(payload, string(body)) {
+		t.Fatal("truncated body is not a prefix of the real one")
+	}
+}
+
+// Transport faults: resets surface as transport errors, truncation as
+// io.ErrUnexpectedEOF mid-body, and non-data-plane paths pass untouched.
+func TestTransportFaults(t *testing.T) {
+	payload := strings.Repeat("b", 256)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(payload))
+	}))
+	t.Cleanup(backend.Close)
+
+	reset := &http.Client{Transport: NewTransport(nil, Config{Seed: 5, Reset: 1})}
+	if resp, err := reset.Get(backend.URL + "/v1/shard/layer"); err == nil {
+		resp.Body.Close()
+		t.Fatal("reset=1 transport returned a response, want an error")
+	}
+	resp, err := reset.Get(backend.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("non-data-plane path must pass untouched: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != payload {
+		t.Fatal("non-data-plane body altered")
+	}
+
+	trunc := &http.Client{Transport: NewTransport(nil, Config{Seed: 5, Truncate: 1})}
+	resp, err = trunc.Get(backend.URL + "/v1/shard/layer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated body read err = %v, want ErrUnexpectedEOF", rerr)
+	}
+	if len(body) > 8 {
+		t.Fatalf("truncated body delivered %d bytes, budget is 8", len(body))
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -48,12 +50,35 @@ type PoolConfig struct {
 	Topology noc.Kind
 	// VNodes per worker on the consistent-hash ring (default 256).
 	VNodes int
-	// RequestTimeout bounds each worker HTTP call (default 60s).
+	// RequestTimeout caps each individual worker HTTP call (default 60s).
+	// The per-call deadline is derived from the request context, so a
+	// caller's own deadline (e.g. /v1/infer timeout_ms) always wins when it
+	// is earlier — the budget spans the whole pass, not one call.
 	RequestTimeout time.Duration
-	// DownFor is how long a failed worker is skipped before being retried
-	// (default 1s).
+	// DownFor is the breaker cooldown: how long an open breaker refuses a
+	// worker before admitting one half-open probe (default 1s).
 	DownFor time.Duration
-	// Client overrides the HTTP client (tests).
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// worker's breaker open (default 3).
+	BreakerThreshold int
+	// ProbeInterval is the active health prober's per-sweep period,
+	// jittered ±20% so a worker fleet is not hit in lockstep (default 2s).
+	// The prober only runs after StartProber.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz probe (default 1s).
+	ProbeTimeout time.Duration
+	// MaxRetries is how many times a transient worker answer (429, or 503
+	// that is not a drain) is retried in place on the same worker before
+	// failing over (default 3).
+	MaxRetries int
+	// RetryBase is the first in-place retry delay; subsequent retries back
+	// off exponentially with jitter (default 25ms).
+	RetryBase time.Duration
+	// RetryMax caps the in-place retry delay, including what a worker's
+	// Retry-After hint can ask for (default 1s).
+	RetryMax time.Duration
+	// Client overrides the HTTP client (tests). The pool never sets
+	// Client.Timeout; deadlines come from the per-call context.
 	Client *http.Client
 }
 
@@ -64,6 +89,12 @@ type PoolMetrics struct {
 	Failovers     atomic.Int64
 	Reloads       atomic.Int64
 	HaloBytesSent atomic.Int64
+	// Retries counts in-place retries of transient (429/503) answers.
+	Retries atomic.Int64
+	// Probes counts active health probes sent.
+	Probes atomic.Int64
+	// DegradedChecks counts Degraded() calls that reported no live workers.
+	DegradedChecks atomic.Int64
 }
 
 // Pool is the front-tier client of the shard worker fleet. Each inference
@@ -76,16 +107,25 @@ type PoolMetrics struct {
 // worker's shard onto the next candidate at the exact layer the pass has
 // reached.
 //
+// Worker health is tracked by a per-worker circuit breaker (see Breaker)
+// fed from two sides: every data-plane exchange, and — once StartProber is
+// called — an active /healthz prober on a jittered interval. Candidates
+// whose breaker is open are deprioritized, not removed: when every breaker
+// is open the pool still tries, because trying beats refusing.
+//
 // A Pool is safe for concurrent use.
 type Pool struct {
-	cfg     PoolConfig
-	ring    *Ring
-	client  *http.Client
-	metrics *PoolMetrics
-	reqSeq  atomic.Uint64
+	cfg      PoolConfig
+	ring     *Ring
+	client   *http.Client
+	metrics  *PoolMetrics
+	breakers map[string]*Breaker // immutable after NewPool; values are locked
+	reqSeq   atomic.Uint64
 
-	mu   sync.Mutex
-	down map[string]time.Time // worker → down-until
+	proberOnce sync.Once
+	closeOnce  sync.Once
+	proberStop chan struct{}
+	proberDone chan struct{}
 }
 
 // NewPool builds a Pool over cfg.Workers.
@@ -111,16 +151,39 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	if cfg.DownFor == 0 {
 		cfg.DownFor = time.Second
 	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout == 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = 25 * time.Millisecond
+	}
+	if cfg.RetryMax == 0 {
+		cfg.RetryMax = time.Second
+	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{Timeout: cfg.RequestTimeout}
+		client = &http.Client{}
 	}
 	p := &Pool{
-		cfg:     cfg,
-		ring:    ring,
-		client:  client,
-		metrics: &PoolMetrics{},
-		down:    make(map[string]time.Time),
+		cfg:        cfg,
+		ring:       ring,
+		client:     client,
+		metrics:    &PoolMetrics{},
+		breakers:   make(map[string]*Breaker, len(cfg.Workers)),
+		proberStop: make(chan struct{}),
+		proberDone: make(chan struct{}),
+	}
+	for _, a := range cfg.Workers {
+		p.breakers[a] = NewBreaker(cfg.BreakerThreshold, cfg.DownFor)
 	}
 	// Distinct pools must not collide on worker run ids.
 	p.reqSeq.Store(uint64(time.Now().UnixNano()))
@@ -139,19 +202,135 @@ func (p *Pool) Topology() noc.Kind { return p.cfg.Topology }
 // Metrics exposes the pool's counters.
 func (p *Pool) Metrics() *PoolMetrics { return p.metrics }
 
+// Breaker returns the circuit breaker guarding addr ("" accepted forms are
+// the normalized worker URLs), or nil for a worker outside the pool.
+func (p *Pool) Breaker(addr string) *Breaker { return p.breakers[normalizeAddr(addr)] }
+
+// LiveWorkers counts workers whose breaker is closed — workers the pool
+// believes healthy right now. Half-open and open workers do not count even
+// when eligible for a probe: liveness returns only on a confirmed success.
+func (p *Pool) LiveWorkers() int {
+	live := 0
+	for _, b := range p.breakers {
+		if b.State() == BreakerClosed {
+			live++
+		}
+	}
+	return live
+}
+
+// Degraded reports whether the pool has no live workers (every breaker is
+// open or probing): the front tier should fall back to single-process
+// serving rather than fan a pass into a fleet it believes dead.
+func (p *Pool) Degraded() bool {
+	if p.LiveWorkers() > 0 {
+		return false
+	}
+	p.metrics.DegradedChecks.Add(1)
+	return true
+}
+
+// StartProber launches the active health prober: every ProbeInterval
+// (jittered ±20%) it GETs each worker's /healthz concurrently and feeds the
+// result into that worker's breaker — so a dead worker is discovered, and a
+// recovered one reinstated, without waiting for data-plane traffic to find
+// out the hard way. Idempotent; stop it with Close.
+func (p *Pool) StartProber() {
+	p.proberOnce.Do(func() {
+		go p.probeLoop()
+	})
+}
+
+// Close stops the active prober, if running, and waits for it to exit.
+// The pool itself remains usable (Run does not require the prober).
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.proberStop) })
+	// If the prober never started, consume the once ourselves so proberDone
+	// is closed (and a late StartProber becomes a no-op).
+	p.proberOnce.Do(func() { close(p.proberDone) })
+	<-p.proberDone
+}
+
+func (p *Pool) probeLoop() {
+	defer close(p.proberDone)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano())) // jitter only; no correctness dependence
+	for {
+		// Jittered sleep: interval × [0.8, 1.2) so a multi-front deployment
+		// does not probe the fleet in lockstep.
+		d := time.Duration(float64(p.cfg.ProbeInterval) * (0.8 + 0.4*rng.Float64()))
+		t := time.NewTimer(d)
+		select {
+		case <-p.proberStop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		var wg sync.WaitGroup
+		for _, addr := range p.cfg.Workers {
+			wg.Add(1)
+			go func(addr string) {
+				defer wg.Done()
+				p.probe(addr)
+			}(addr)
+		}
+		wg.Wait()
+	}
+}
+
+// probe GETs one worker's /healthz and records the outcome in its breaker.
+// Anything but a 200 — a refused connection, a timeout, a draining 503 —
+// counts as a failure.
+func (p *Pool) probe(addr string) {
+	p.metrics.Probes.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+	if err != nil {
+		p.breakers[addr].Failure()
+		return
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.breakers[addr].Failure()
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		p.breakers[addr].Success()
+	} else {
+		p.breakers[addr].Failure()
+	}
+}
+
 // WritePrometheus renders the pool's sharding counters in Prometheus text
 // exposition format; the front tier appends it to its /metrics page.
 func (p *Pool) WritePrometheus(w io.Writer) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
 	counter("scale_shard_pool_requests_total", "Sharded inference passes started.", p.metrics.Requests.Load())
 	counter("scale_shard_pool_layer_calls_total", "Per-shard layer calls completed.", p.metrics.LayerCalls.Load())
 	counter("scale_shard_pool_failovers_total", "Worker failures routed around.", p.metrics.Failovers.Load())
 	counter("scale_shard_pool_reloads_total", "Shard reloads onto replacement workers.", p.metrics.Reloads.Load())
 	counter("scale_shard_pool_halo_bytes_total", "Halo row bytes redistributed between layers.", p.metrics.HaloBytesSent.Load())
-	fmt.Fprintf(w, "# HELP scale_shard_pool_workers Workers in the replica pool.\n# TYPE scale_shard_pool_workers gauge\nscale_shard_pool_workers %d\n", len(p.ring.nodes))
-	fmt.Fprintf(w, "# HELP scale_shard_pool_parts Shards per request.\n# TYPE scale_shard_pool_parts gauge\nscale_shard_pool_parts %d\n", p.cfg.Parts)
+	counter("scale_shard_pool_retries_total", "In-place retries of transient (429/503 Retry-After) worker answers.", p.metrics.Retries.Load())
+	counter("scale_shard_pool_probes_total", "Active health probes sent.", p.metrics.Probes.Load())
+	var open, trips int64
+	for _, b := range p.breakers {
+		if b.State() == BreakerOpen {
+			open++
+		}
+		trips += b.Trips()
+	}
+	counter("scale_shard_pool_breaker_trips_total", "Circuit breakers tripped open.", trips)
+	gauge("scale_shard_pool_breaker_open", "Workers whose circuit breaker is currently open.", open)
+	gauge("scale_shard_pool_workers_live", "Workers whose circuit breaker is closed.", int64(p.LiveWorkers()))
+	gauge("scale_shard_pool_workers", "Workers in the replica pool.", int64(len(p.ring.nodes)))
+	gauge("scale_shard_pool_parts", "Shards per request.", int64(p.cfg.Parts))
 }
 
 func normalizeAddr(a string) string {
@@ -161,31 +340,19 @@ func normalizeAddr(a string) string {
 	return "http://" + a
 }
 
-// markDown records a worker failure; candidates skips it until DownFor
-// elapses (then it gets one probe request again).
-func (p *Pool) markDown(addr string) {
-	p.mu.Lock()
-	p.down[addr] = time.Now().Add(p.cfg.DownFor)
-	p.mu.Unlock()
-	p.metrics.Failovers.Add(1)
-}
-
 // candidates returns the failover-ordered worker list for key: ring
-// successors with currently-down workers moved to the back (not removed —
-// when every worker is marked down, trying beats refusing).
+// successors with breaker-unavailable workers moved to the back (not removed
+// — when every breaker is open, trying beats refusing).
 func (p *Pool) candidates(key string) []string {
 	succ := p.ring.Successors(key, len(p.ring.nodes))
-	now := time.Now()
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	up := make([]string, 0, len(succ))
 	var skipped []string
 	for _, a := range succ {
-		if until, bad := p.down[a]; bad && now.Before(until) {
+		if p.breakers[a].Available() {
+			up = append(up, a)
+		} else {
 			skipped = append(skipped, a)
-			continue
 		}
-		up = append(up, a)
 	}
 	return append(up, skipped...)
 }
@@ -270,14 +437,7 @@ func (p *Pool) Run(ctx context.Context, spec SessionSpec, g *graph.Graph, x *ten
 	// Best-effort finish: RunTTL reclaims anything this misses.
 	for _, sr := range runs {
 		if sr.addr != "" {
-			req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-				fmt.Sprintf("%s/v1/shard/finish?req=%d", sr.addr, sr.reqID), nil)
-			if err == nil {
-				if resp, err := p.client.Do(req); err == nil {
-					_, _ = io.Copy(io.Discard, resp.Body)
-					_ = resp.Body.Close()
-				}
-			}
+			_, _ = p.post(ctx, sr.addr+fmt.Sprintf("/v1/shard/finish?req=%d", sr.reqID), nil)
 		}
 	}
 	return h, plan, nil
@@ -314,8 +474,10 @@ func (p *Pool) forEachShard(runs []*shardRun, fn func(*shardRun) error) error {
 }
 
 // loadShard ships sr's subgraph (with feature rows taken from the global
-// matrix h, which holds layer li's input) to the first healthy candidate
-// worker.
+// matrix h, which holds layer li's input) to the first candidate worker that
+// accepts it. Breaker-admitted candidates go first; if every breaker refuses
+// — the whole fleet looks dead — the refused workers are tried anyway as a
+// last resort.
 func (p *Pool) loadShard(ctx context.Context, spec SessionSpec, sr *shardRun, li int, h *tensor.Matrix) error {
 	sub := sr.sub
 	n := len(sub.Global)
@@ -347,20 +509,50 @@ func (p *Pool) loadShard(ctx context.Context, spec SessionSpec, sr *shardRun, li
 	}
 
 	var lastErr error
-	for _, addr := range p.candidates(sr.key) {
-		resp, err := p.post(ctx, addr+"/v1/shard/load", body.Bytes())
+	var denied []string
+	attempt := func(addr string) (bool, error) {
+		resp, err := p.postRetry(ctx, addr+"/v1/shard/load", body.Bytes())
 		if err == nil && resp.code == http.StatusNoContent {
+			p.breakers[addr].Success()
 			sr.addr = addr
-			return nil
+			return true, nil
 		}
 		lastErr = p.noteFailure(addr, resp, err)
 		var pe *permanentErr
 		if errors.As(lastErr, &pe) {
-			return lastErr
+			return false, lastErr
 		}
 		if ctx.Err() != nil {
-			return ctx.Err()
+			return false, ctx.Err()
 		}
+		return false, nil
+	}
+	for _, addr := range p.candidates(sr.key) {
+		if !p.breakers[addr].Allow() {
+			denied = append(denied, addr)
+			continue
+		}
+		ok, err := attempt(addr)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+	}
+	// All-denied (or every admitted worker failed): try the breaker-refused
+	// workers too before giving up — the breakers may simply be stale.
+	for _, addr := range denied {
+		ok, err := attempt(addr)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no candidate workers")
 	}
 	return fmt.Errorf("shard %d: no worker accepted load: %w", sub.Index, lastErr)
 }
@@ -404,7 +596,7 @@ func (p *Pool) layerShard(ctx context.Context, spec SessionSpec, sr *shardRun, l
 				return nil, err
 			}
 		}
-		resp, err := p.post(ctx, sr.addr+"/v1/shard/layer", body.Bytes())
+		resp, err := p.postRetry(ctx, sr.addr+"/v1/shard/layer", body.Bytes())
 		if err == nil && resp.code == http.StatusOK {
 			lr, derr := DecodeLayerResponse(bytes.NewReader(resp.body))
 			if derr == nil {
@@ -412,6 +604,7 @@ func (p *Pool) layerShard(ctx context.Context, spec SessionSpec, sr *shardRun, l
 					return nil, fmt.Errorf("shard %d: layer %d returned %d values, want %d: %w",
 						sub.Index, li, len(lr.Rows), want, fault.ErrBadShape)
 				}
+				p.breakers[sr.addr].Success()
 				p.metrics.LayerCalls.Add(1)
 				return lr, nil
 			}
@@ -433,13 +626,48 @@ func (p *Pool) layerShard(ctx context.Context, spec SessionSpec, sr *shardRun, l
 	return nil, fmt.Errorf("shard %d: layer %d failed on every worker: %w", sub.Index, li, lastErr)
 }
 
-// postResult is one worker answer: status code plus raw body.
+// postResult is one worker answer: status code, raw body, and the worker's
+// Retry-After hint (0 when absent).
 type postResult struct {
-	code int
-	body []byte
+	code       int
+	body       []byte
+	retryAfter time.Duration
 }
 
+// kind extracts the machine-readable error classification from a worker's
+// JSON error payload ("" for non-JSON bodies).
+func (r *postResult) kind() string {
+	var we shardError
+	if err := json.Unmarshal(r.body, &we); err == nil {
+		return we.Kind
+	}
+	return ""
+}
+
+// transient reports whether the answer is worth retrying on the same worker:
+// 429 (admission queue full) and 503s that are not drains are momentary load
+// conditions — the worker holds our run and will recover; ejecting it would
+// force a reload elsewhere for no reason.
+func (r *postResult) transient() bool {
+	switch r.code {
+	case http.StatusTooManyRequests:
+		return true
+	case http.StatusServiceUnavailable:
+		return r.kind() != "draining"
+	}
+	return false
+}
+
+// post sends one frame and reads the full answer. The call's deadline is
+// derived from ctx capped at RequestTimeout — a caller deadline that is
+// earlier wins (the caller's budget spans the whole pass), and a hung worker
+// cannot stall a budget-less caller past RequestTimeout.
 func (p *Pool) post(ctx context.Context, url string, frame []byte) (*postResult, error) {
+	if p.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.cfg.RequestTimeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(frame))
 	if err != nil {
 		return nil, err
@@ -454,15 +682,57 @@ func (p *Pool) post(ctx context.Context, url string, frame []byte) (*postResult,
 	if err != nil {
 		return nil, err
 	}
-	return &postResult{code: resp.StatusCode, body: body}, nil
+	res := &postResult{code: resp.StatusCode, body: body}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, perr := strconv.Atoi(s); perr == nil && secs > 0 {
+			res.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return res, nil
 }
 
-// noteFailure classifies one failed worker exchange: 400s are permanent
-// (same input fails everywhere), everything else marks the worker down and
-// is retriable on the next candidate.
+// postRetry posts a frame, retrying transient answers (429, non-drain 503)
+// in place with capped jittered exponential backoff. The worker's
+// Retry-After hint raises the delay when it asks for longer than the backoff
+// would wait, bounded by RetryMax; transport errors and other statuses
+// return immediately — they are the failover path's business, not ours.
+func (p *Pool) postRetry(ctx context.Context, url string, frame []byte) (*postResult, error) {
+	delay := p.cfg.RetryBase
+	for attempt := 0; ; attempt++ {
+		res, err := p.post(ctx, url, frame)
+		if err != nil || !res.transient() || attempt >= p.cfg.MaxRetries {
+			return res, err
+		}
+		wait := delay + time.Duration(rand.Int63n(int64(delay)+1)) // [delay, 2·delay]
+		if res.retryAfter > wait {
+			wait = res.retryAfter
+		}
+		if wait > p.cfg.RetryMax {
+			wait = p.cfg.RetryMax
+		}
+		p.metrics.Retries.Add(1)
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+		if delay *= 2; delay > p.cfg.RetryMax {
+			delay = p.cfg.RetryMax
+		}
+	}
+}
+
+// noteFailure classifies one failed worker exchange after any in-place
+// retries are spent: 400s are permanent (same input fails everywhere); 404
+// no_run and exhausted-transient 429/503 answers fail over WITHOUT feeding
+// the breaker (the worker is alive, it just cannot serve this call right
+// now); transport errors, drains, and 5xx count against the breaker.
 func (p *Pool) noteFailure(addr string, resp *postResult, err error) error {
 	if err != nil {
-		p.markDown(addr)
+		p.breakers[addr].Failure()
+		p.metrics.Failovers.Add(1)
 		return fmt.Errorf("worker %s: %w", addr, err)
 	}
 	var we shardError
@@ -473,11 +743,16 @@ func (p *Pool) noteFailure(addr string, resp *postResult, err error) error {
 	if resp.code == http.StatusBadRequest || resp.code == http.StatusMethodNotAllowed {
 		return &permanentErr{err: fmt.Errorf("worker %s: %s: %w", addr, msg, fault.ErrBadConfig)}
 	}
-	// 404 no_run means the worker lost our state (restart, TTL expiry): the
-	// worker itself is healthy, but the run must be reloaded. Don't mark the
-	// whole worker down for it.
-	if resp.code != http.StatusNotFound {
-		p.markDown(addr)
+	switch {
+	case resp.code == http.StatusNotFound:
+		// no_run: the worker lost our state (restart, TTL expiry). The worker
+		// itself is healthy; the run must be reloaded, nothing more.
+	case resp.transient():
+		// Retries in place are exhausted but the worker is only overloaded —
+		// fail over for this call without calling the worker broken.
+	default:
+		p.breakers[addr].Failure()
+		p.metrics.Failovers.Add(1)
 	}
 	return fmt.Errorf("worker %s: status %d: %s", addr, resp.code, msg)
 }

@@ -442,11 +442,13 @@ func (w *Worker) handleFinish(rw http.ResponseWriter, r *http.Request) {
 	rw.WriteHeader(http.StatusNoContent)
 }
 
-// workerHealth is the GET /healthz payload.
+// workerHealth is the GET /healthz payload. MaxRuns rides along so the
+// front tier's prober (and operators) can see headroom, not just liveness.
 type workerHealth struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Runs          int     `json:"runs"`
+	MaxRuns       int     `json:"max_runs"`
 	Sessions      int     `json:"sessions"`
 }
 
@@ -464,6 +466,7 @@ func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
 		Status:        status,
 		UptimeSeconds: time.Since(w.start).Seconds(),
 		Runs:          runs,
+		MaxRuns:       w.cfg.MaxRuns,
 		Sessions:      sessions,
 	})
 }
