@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint conform race fuzz bce bench bench-serve bench-shard bench-smoke serve-smoke shard-smoke chaos-smoke verify
+.PHONY: build test lint conform race fuzz bce bench bench-serve bench-shard bench-dyn bench-smoke serve-smoke shard-smoke chaos-smoke dyn-smoke verify
 
 # Tier 1: everything compiles and the full test suite passes.
 build:
@@ -71,7 +71,7 @@ conform:
 race:
 	$(GO) test -race -timeout 10m ./internal/bench/... ./internal/dse/...
 	$(GO) test -race -timeout 10m ./internal/tensor/ ./internal/gnn/ ./internal/core/
-	$(GO) test -race -timeout 10m ./internal/serve/ ./internal/shard/... .
+	$(GO) test -race -timeout 10m ./internal/serve/ ./internal/shard/... ./internal/dyn/ .
 
 # Tier 3: short fuzz passes over the parsers (graph edge lists, binary
 # graph decoding, feature matrices, config JSON round-trip).
@@ -80,6 +80,7 @@ fuzz:
 	$(GO) test ./internal/graph/ -run FuzzDecode -fuzz FuzzDecode -fuzztime 20s
 	$(GO) test ./internal/graph/ -run FuzzParseFeatures -fuzz FuzzParseFeatures -fuzztime 20s
 	$(GO) test ./internal/core/ -run FuzzConfigJSON -fuzz FuzzConfigJSON -fuzztime 20s
+	$(GO) test ./internal/dyn/ -run FuzzMutationDecode -fuzz FuzzMutationDecode -fuzztime 20s
 
 # Performance tier: run the simulator, scheduler, and forward-execution
 # benchmarks with allocation stats and merge the results into the committed
@@ -308,4 +309,64 @@ chaos-smoke:
 	trap - EXIT; \
 	echo "chaos-smoke: chaos burst bit-identical-or-erred, mid-burst kill failed over, full outage served degraded, drained cleanly"
 
-verify: test lint conform bce race bench-smoke serve-smoke shard-smoke chaos-smoke
+# Dynamic-graph smoke (DESIGN §4m): boot scale-serve with a mutable
+# Erdős–Rényi graph, interleave /v1/mutate batches (edge adds/removes plus a
+# vertex add) with "graph":"dynamic" infers, and require every response to
+# succeed. The metrics gate is the delta-invalidation story: the schedule
+# table must have reused entries across the mutation stream
+# (scale_dyn_sched_reused_total > 0 — i.e. strictly fewer recomputes than a
+# full rebuild per batch) with a positive invalidation hit rate, and the
+# mutation counters must account for every batch. SIGTERM must drain cleanly.
+DYN_ADDR ?= 127.0.0.1:18351
+dyn-smoke:
+	$(GO) build -o /tmp/scale-serve-dyn-smoke ./cmd/scale-serve
+	@set -e; \
+	/tmp/scale-serve-dyn-smoke -addr $(DYN_ADDR) -dynamic er:256:1024 -dyn-dim 16 \
+	    >/tmp/scale-serve-dyn-smoke.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	ok=0; for i in $$(seq 1 50); do \
+	    if curl -sf http://$(DYN_ADDR)/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+	    sleep 0.1; \
+	done; \
+	[ "$$ok" = 1 ] || { echo "dyn-smoke: server never became healthy"; \
+	    cat /tmp/scale-serve-dyn-smoke.log; exit 1; }; \
+	infer='{"model":"gcn","dims":[16,8,4],"graph":"dynamic"}'; \
+	feats=$$(awk 'BEGIN{printf "["; for(j=0;j<16;j++) printf "%s%.1f", (j?",":""), j*0.5; printf "]"}'); \
+	for i in $$(seq 1 8); do \
+	    mutate=$$(printf '{"ops":[{"op":"add_edge","src":%d,"dst":%d},{"op":"add_edge","src":%d,"dst":%d},{"op":"remove_edge","src":%d,"dst":%d}]}' \
+	        $$i $$((i+100)) $$((i+20)) $$((i+50)) $$i $$((i+100))); \
+	    curl -sf -X POST -d "$$mutate" -o /dev/null http://$(DYN_ADDR)/v1/mutate || \
+	        { echo "dyn-smoke: mutate batch $$i failed"; cat /tmp/scale-serve-dyn-smoke.log; exit 1; }; \
+	    curl -sf -X POST -d "$$infer" -o /dev/null http://$(DYN_ADDR)/v1/infer || \
+	        { echo "dyn-smoke: dynamic infer $$i failed"; cat /tmp/scale-serve-dyn-smoke.log; exit 1; }; \
+	done; \
+	curl -sf -X POST -d "{\"ops\":[{\"op\":\"add_vertex\",\"features\":$$feats}]}" \
+	    -o /dev/null http://$(DYN_ADDR)/v1/mutate || \
+	    { echo "dyn-smoke: add_vertex failed"; exit 1; }; \
+	curl -sf -X POST -d "$$infer" -o /dev/null http://$(DYN_ADDR)/v1/infer || \
+	    { echo "dyn-smoke: post-growth infer failed"; exit 1; }; \
+	metrics=$$(curl -sf http://$(DYN_ADDR)/metrics); \
+	echo "$$metrics" | grep -q 'scale_dyn_mutation_batches_total 9' || \
+	    { echo "dyn-smoke: mutation batch counter wrong"; echo "$$metrics" | grep scale_dyn; exit 1; }; \
+	echo "$$metrics" | grep -Eq 'scale_dyn_sched_reused_total [1-9]' || \
+	    { echo "dyn-smoke: delta-invalidation never reused a schedule entry"; \
+	      echo "$$metrics" | grep scale_dyn; exit 1; }; \
+	echo "$$metrics" | grep -Eq 'scale_dyn_sched_invalidation_hit_rate 0\.[0-9]+' || \
+	    { echo "dyn-smoke: invalidation hit rate not in (0,1)"; \
+	      echo "$$metrics" | grep scale_dyn; exit 1; }; \
+	echo "$$metrics" | grep -q 'scale_dyn_vertices 257' || \
+	    { echo "dyn-smoke: vertex add not reflected in metrics"; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "dyn-smoke: unclean drain"; cat /tmp/scale-serve-dyn-smoke.log; exit 1; }; \
+	trap - EXIT; \
+	echo "dyn-smoke: 9 mutate batches + 9 dynamic infers, invalidation hit rate > 0, drained cleanly"
+
+# Dynamic-graph performance tier: mutation throughput plus sampled vs full
+# inference over the same RMAT graph, committed to BENCH_pr10.json.
+BENCH10_COUNT ?= 5
+bench-dyn:
+	$(GO) test -run '^$$' -bench 'BenchmarkDyn' -benchmem -count $(BENCH10_COUNT) \
+		./internal/dyn | \
+		$(GO) run ./cmd/scale-benchjson -label dyn -out BENCH_pr10.json
+
+verify: test lint conform bce race bench-smoke serve-smoke shard-smoke chaos-smoke dyn-smoke

@@ -31,11 +31,15 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"scale"
 	"scale/internal/cli"
+	"scale/internal/dyn"
+	"scale/internal/gnn"
+	"scale/internal/graph"
 	"scale/internal/noc"
 	"scale/internal/serve"
 	"scale/internal/shard"
@@ -65,6 +69,10 @@ func run(ctx context.Context) error {
 		breakerN     = fs.Int("breaker-threshold", 3, "consecutive worker failures before its circuit breaker opens")
 		breakerCool  = fs.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before a half-open probe")
 		shardRetries = fs.Int("shard-retries", 3, "in-place retries per worker call on 429/503 transients")
+		dynamic      = fs.String("dynamic", "", "serve a mutable graph: a dataset name (cora, ...) or er:<vertices>:<edges>; enables POST /v1/mutate and \"graph\":\"dynamic\" infers")
+		dynDim       = fs.Int("dyn-dim", 16, "feature width of the dynamic graph's seeded random features")
+		dynCompact   = fs.Float64("dyn-compact", 0.25, "delta fraction triggering dynamic-graph compaction")
+		sampleWork   = fs.Int("sample-workers", 0, "worker count for dynamic/sampled inference (0 = all cores; results are worker-count invariant)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful drain budget after SIGTERM")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -119,6 +127,13 @@ func run(ctx context.Context) error {
 		}
 		pool.StartProber()
 	}
+	var dynGraph *dyn.Graph
+	if *dynamic != "" {
+		dynGraph, err = buildDynamic(*dynamic, *dynDim, *dynCompact)
+		if err != nil {
+			return err
+		}
+	}
 	srv := serve.New(serve.Config{
 		Sim:              sim,
 		BatchWindow:      *batchWindow,
@@ -129,6 +144,8 @@ func run(ctx context.Context) error {
 		DefaultPrecision: *precision,
 		ShardPool:        pool,
 		ShardMinVertices: *shardMin,
+		Dynamic:          dynGraph,
+		SampleWorkers:    *sampleWork,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -143,6 +160,11 @@ func run(ctx context.Context) error {
 	if pool != nil {
 		fmt.Fprintf(os.Stderr, "scale-serve: sharding requests >=%d vertices across %d workers (parts=%d topology=%s)\n",
 			*shardMin, len(pool.Workers()), pool.Parts(), pool.Topology())
+	}
+	if dynGraph != nil {
+		st := dynGraph.Stats()
+		fmt.Fprintf(os.Stderr, "scale-serve: dynamic graph %s: |V|=%d |E|=%d dim=%d (compact at %.0f%% delta)\n",
+			*dynamic, st.Vertices, st.Edges, dynGraph.FeatureDim(), 100**dynCompact)
 	}
 
 	select {
@@ -168,4 +190,36 @@ func run(ctx context.Context) error {
 	}
 	fmt.Fprintln(os.Stderr, "scale-serve: drained cleanly")
 	return nil
+}
+
+// buildDynamic materializes the server's mutable graph from a spec: a
+// registry dataset name, or "er:<vertices>:<edges>" for a seeded
+// Erdős–Rényi graph (small controllable graphs for smokes and demos).
+// Features are seeded random at the requested width, so a restarted server
+// reproduces the same initial state.
+func buildDynamic(spec string, dim int, compact float64) (*dyn.Graph, error) {
+	if dim < 1 {
+		return nil, cli.Usagef("-dyn-dim %d < 1", dim)
+	}
+	var g *graph.Graph
+	if rest, ok := strings.CutPrefix(spec, "er:"); ok {
+		parts := strings.Split(rest, ":")
+		if len(parts) != 2 {
+			return nil, cli.Usagef("bad -dynamic spec %q (want er:<vertices>:<edges>)", spec)
+		}
+		v, err1 := strconv.Atoi(parts[0])
+		e, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || v < 1 || e < 0 {
+			return nil, cli.Usagef("bad -dynamic spec %q (want er:<vertices>:<edges>)", spec)
+		}
+		g = graph.ErdosRenyi(v, e, 7)
+	} else {
+		d, err := graph.ByName(spec)
+		if err != nil {
+			return nil, err
+		}
+		g = d.Build()
+	}
+	x := gnn.RandomFeatures(g, dim, 11)
+	return dyn.New(g, x, dyn.Config{CompactThreshold: compact})
 }

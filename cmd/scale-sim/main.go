@@ -29,8 +29,10 @@ import (
 	"scale"
 	"scale/internal/cli"
 	"scale/internal/core"
+	"scale/internal/dyn"
 	"scale/internal/gnn"
 	"scale/internal/graph"
+	"scale/internal/tensor"
 )
 
 func main() { cli.Main("scale-sim", run) }
@@ -51,6 +53,8 @@ func run(_ context.Context) error {
 		edgelist = fs.String("edgelist", "", "edge-list `file` (\"src dst\" per line) for functional inference over a custom graph")
 		featPath = fs.String("features", "", "feature-matrix `file` (one row per vertex); requires -edgelist")
 		dims     = fs.String("dims", "", "comma-separated feature-length chain for -edgelist runs (default: in,16,8)")
+		fanout   = fs.Int("fanout", 0, "fixed-fanout neighbor sampling for -edgelist inference: keep at most N in-neighbors per vertex per layer (0 = full aggregation)")
+		smpSeed  = fs.Uint64("sample-seed", 0, "sampling seed for -fanout runs; same seed reproduces byte-identical embeddings")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		if err == flag.ErrHelp {
@@ -65,8 +69,14 @@ func run(_ context.Context) error {
 	if *featPath != "" && *edgelist == "" {
 		return cli.Usagef("-features requires -edgelist")
 	}
+	if *fanout != 0 && *edgelist == "" {
+		return cli.Usagef("-fanout requires -edgelist (sampling is a functional-inference option)")
+	}
+	if *fanout < 0 {
+		return cli.Usagef("-fanout %d < 0", *fanout)
+	}
 	if *edgelist != "" {
-		return runInference(*model, *edgelist, *featPath, *dims, *macs, *ring, *batch, *policy)
+		return runInference(*model, *edgelist, *featPath, *dims, *macs, *ring, *batch, *policy, *fanout, *smpSeed)
 	}
 	if *cfgPath != "" {
 		return runWithConfigFile(*cfgPath, *model, *dataset)
@@ -124,8 +134,11 @@ func run(_ context.Context) error {
 
 // runInference executes file-driven functional inference: parse the graph
 // and features (typed input errors on malformed files), run the model
-// through the SCALE dataflow, and print one embedding row per vertex.
-func runInference(model, edgePath, featPath, dimSpec string, macs, ring, batch int, policy string) error {
+// through the SCALE dataflow, and print one embedding row per vertex. With
+// fanout > 0 each layer aggregates over a seeded fixed-fanout neighbor
+// sample (GraphSAGE-style) instead of the full in-neighborhood; the same
+// (fanout, seed) pair reproduces byte-identical embeddings.
+func runInference(model, edgePath, featPath, dimSpec string, macs, ring, batch int, policy string, fanout int, sampleSeed uint64) error {
 	ef, err := os.Open(edgePath)
 	if err != nil {
 		return err
@@ -188,12 +201,22 @@ func runInference(model, edgePath, featPath, dimSpec string, macs, ring, batch i
 			edges = append(edges, [2]int{int(u), v})
 		}
 	}
-	out, err := sim.Infer(model, chain, n, edges, features)
+	var out [][]float32
+	if fanout > 0 {
+		out, err = runSampled(sim, model, chain, n, edges, features, fanout, sampleSeed)
+	} else {
+		out, err = sim.Infer(model, chain, n, edges, features)
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "scale-sim: %s over %d vertices, %d edges → %d-dim embeddings\n",
-		model, n, len(edges), chain[len(chain)-1])
+	if fanout > 0 {
+		fmt.Fprintf(os.Stderr, "scale-sim: %s over %d vertices, %d edges (fanout %d, seed %d) → %d-dim embeddings\n",
+			model, n, len(edges), fanout, sampleSeed, chain[len(chain)-1])
+	} else {
+		fmt.Fprintf(os.Stderr, "scale-sim: %s over %d vertices, %d edges → %d-dim embeddings\n",
+			model, n, len(edges), chain[len(chain)-1])
+	}
 	for v, row := range out {
 		var b strings.Builder
 		fmt.Fprintf(&b, "%d", v)
@@ -203,6 +226,26 @@ func runInference(model, edgePath, featPath, dimSpec string, macs, ring, batch i
 		fmt.Println(b.String())
 	}
 	return nil
+}
+
+// runSampled executes fixed-fanout sampled inference: rebuild the CSR over
+// the full n-vertex id space, draw one fanout-capped subgraph per model
+// layer with the seeded sampler, and run the session's sampled forward.
+func runSampled(sim *scale.Simulator, model string, chain []int, n int, edges [][2]int, features [][]float32, fanout int, seed uint64) ([][]float32, error) {
+	sess, err := sim.NewSession(model, chain)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build("user")
+	layers, err := dyn.Sampler{Fanout: fanout, Seed: seed}.Sample(g, sess.NumLayers())
+	if err != nil {
+		return nil, err
+	}
+	return sess.InferSampled(context.Background(), layers, tensor.FromRows(features), 0)
 }
 
 // graphWithVertices builds an edgeless graph of n vertices, used only to

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"scale/internal/graph"
+	"scale/internal/sched"
+)
+
+// TestScheduleMemoInvalidation pins the delta-overlay contract the dynamic
+// graph relies on: mutating a profile's degrees in place leaves the memoized
+// schedule stale (same pointer, old loads) until Profile.Invalidate drops
+// the memo table, after which scheduleFor recomputes against the new
+// degrees. Without the Invalidate call a dyn mutation would serve timing
+// estimates for a graph that no longer exists.
+func TestScheduleMemoInvalidation(t *testing.T) {
+	degrees := make([]int32, 128)
+	for i := range degrees {
+		degrees[i] = int32(i % 7)
+	}
+	p := graph.NewProfile("memo-inv", degrees)
+	cfg := sched.Config{NumTasks: 8, NumGroups: 2, Policy: sched.DegreeVertexAware}
+
+	s1, err := scheduleFor(p, 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := scheduleFor(p, 64, cfg); again != s1 {
+		t.Fatal("second scheduleFor did not hit the memo")
+	}
+	totalEdges := func(ls *layerSchedule) int64 {
+		var sum int64
+		for _, b := range ls.batches {
+			sum += b.edges
+		}
+		return sum
+	}
+	before := totalEdges(s1)
+	if before != p.NumEdges() {
+		t.Fatalf("schedule covers %d edges, profile has %d", before, p.NumEdges())
+	}
+
+	// Mutate degrees in place, as the dyn overlay does under its lock.
+	p.Degrees[0] += 100
+	stale, _ := scheduleFor(p, 64, cfg)
+	if stale != s1 {
+		t.Fatal("memo dropped without Invalidate — the staleness this test documents is gone; update the dyn contract")
+	}
+
+	p.Invalidate()
+	fresh, err := scheduleFor(p, 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == s1 {
+		t.Fatal("Invalidate did not drop the memoized schedule")
+	}
+	if got := totalEdges(fresh); got != before+100 {
+		t.Fatalf("recomputed schedule covers %d edges, want %d", got, before+100)
+	}
+}

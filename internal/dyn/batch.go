@@ -1,0 +1,178 @@
+package dyn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"scale/internal/fault"
+)
+
+// OpKind identifies one mutation operation.
+type OpKind uint8
+
+const (
+	// OpAddEdge inserts the directed aggregation edge Src → Dst.
+	OpAddEdge OpKind = iota + 1
+	// OpRemoveEdge removes one occurrence of the edge Src → Dst (the graph
+	// is a multigraph; each removal cancels exactly one edge).
+	OpRemoveEdge
+	// OpAddVertex appends a new vertex carrying Features (length must equal
+	// the dynamic graph's feature dimension). The new id is the current
+	// vertex count at the moment the op applies, so later ops in the same
+	// batch may reference it.
+	OpAddVertex
+)
+
+// String names the op kind using the wire-format verbs.
+func (k OpKind) String() string {
+	switch k {
+	case OpAddEdge:
+		return "add_edge"
+	case OpRemoveEdge:
+		return "remove_edge"
+	case OpAddVertex:
+		return "add_vertex"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Mutation is one delta element of a batch.
+type Mutation struct {
+	Op       OpKind
+	Src, Dst int32     // edge ops
+	Features []float32 // add-vertex payload
+}
+
+// Batch is an ordered list of mutations applied atomically: either every op
+// applies or none does (Graph.Apply rolls back on the first failure).
+type Batch struct {
+	Ops []Mutation
+}
+
+// Wire-format limits. A decoded header may claim anything; these bounds
+// reject implausible claims before any allocation proportional to them,
+// mirroring the graph binary codec's hardening.
+const (
+	maxBatchOps   = 1 << 22
+	maxFeatureDim = 1 << 20
+)
+
+// batchMagic tags the batched-delta binary format (little endian):
+// magic, int32 op count, then per op one uint8 kind followed by
+// int32 src + int32 dst (edge ops) or int32 dim + dim float32s (add-vertex).
+var batchMagic = [4]byte{'S', 'C', 'D', '1'}
+
+// EncodeBatch writes b in the batched-delta binary format.
+func EncodeBatch(w io.Writer, b Batch) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(batchMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int32(len(b.Ops))); err != nil {
+		return err
+	}
+	for i, op := range b.Ops {
+		if err := bw.WriteByte(byte(op.Op)); err != nil {
+			return err
+		}
+		switch op.Op {
+		case OpAddEdge, OpRemoveEdge:
+			if err := binary.Write(bw, binary.LittleEndian, [2]int32{op.Src, op.Dst}); err != nil {
+				return err
+			}
+		case OpAddVertex:
+			if err := binary.Write(bw, binary.LittleEndian, int32(len(op.Features))); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, op.Features); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dyn: op %d has unknown kind %v: %w", i, op.Op, fault.ErrBadGraph)
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeBatch reads a batch previously written by EncodeBatch, validating as
+// it goes. Every failure — bad magic, implausible counts, unknown op kinds,
+// negative vertex ids, non-finite features, truncation mid-op — wraps
+// fault.ErrBadGraph so callers classify it as bad input, and implausible
+// headers fail before any allocation proportional to their claim (the op
+// slice grows in bounded chunks exactly like the graph decoder's readInt32s).
+//
+// Decoding validates shape only; range checks against the live graph (vertex
+// ids inside |V|, removals of existing edges, feature dimension) happen in
+// Graph.Apply, which sees the graph the batch lands on.
+func DecodeBatch(r io.Reader) (Batch, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return Batch{}, fmt.Errorf("dyn: reading magic: %v: %w", err, fault.ErrBadGraph)
+	}
+	if m != batchMagic {
+		return Batch{}, fmt.Errorf("dyn: bad magic %q: %w", m, fault.ErrBadGraph)
+	}
+	var count int32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return Batch{}, fmt.Errorf("dyn: reading op count: %v: %w", err, fault.ErrBadGraph)
+	}
+	if count < 0 || count > maxBatchOps {
+		return Batch{}, fmt.Errorf("dyn: implausible op count %d: %w", count, fault.ErrBadGraph)
+	}
+	// Grow in bounded chunks: a truncated stream claiming 2^22 ops must
+	// fail at EOF after the real data runs out, not commit the allocation
+	// up front.
+	first := int(count)
+	if first > 4096 {
+		first = 4096
+	}
+	ops := make([]Mutation, 0, first)
+	for i := 0; i < int(count); i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return Batch{}, fmt.Errorf("dyn: op %d: reading kind (truncated?): %v: %w", i, err, fault.ErrBadGraph)
+		}
+		op := Mutation{Op: OpKind(kind)}
+		switch op.Op {
+		case OpAddEdge, OpRemoveEdge:
+			var e [2]int32
+			if err := binary.Read(br, binary.LittleEndian, &e); err != nil {
+				return Batch{}, fmt.Errorf("dyn: op %d: reading edge (truncated?): %v: %w", i, err, fault.ErrBadGraph)
+			}
+			if e[0] < 0 || e[1] < 0 {
+				return Batch{}, fmt.Errorf("dyn: op %d: negative vertex id (%d,%d): %w", i, e[0], e[1], fault.ErrBadGraph)
+			}
+			op.Src, op.Dst = e[0], e[1]
+		case OpAddVertex:
+			var dim int32
+			if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+				return Batch{}, fmt.Errorf("dyn: op %d: reading feature dim (truncated?): %v: %w", i, err, fault.ErrBadGraph)
+			}
+			if dim < 0 || dim > maxFeatureDim {
+				return Batch{}, fmt.Errorf("dyn: op %d: implausible feature dim %d: %w", i, dim, fault.ErrBadGraph)
+			}
+			feats := make([]float32, dim)
+			if err := binary.Read(br, binary.LittleEndian, feats); err != nil {
+				return Batch{}, fmt.Errorf("dyn: op %d: reading features (truncated?): %v: %w", i, err, fault.ErrBadGraph)
+			}
+			for j, f := range feats {
+				if math.IsNaN(float64(f)) || math.IsInf(float64(f), 0) {
+					return Batch{}, fmt.Errorf("dyn: op %d: feature %d is not finite: %w", i, j, fault.ErrBadGraph)
+				}
+			}
+			op.Features = feats
+		default:
+			return Batch{}, fmt.Errorf("dyn: op %d: unknown kind %d: %w", i, kind, fault.ErrBadGraph)
+		}
+		ops = append(ops, op)
+	}
+	// Trailing garbage marks a corrupt stream, same as the graph codec.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return Batch{}, fmt.Errorf("dyn: trailing bytes after %d ops: %w", count, fault.ErrBadGraph)
+	}
+	return Batch{Ops: ops}, nil
+}

@@ -1,0 +1,138 @@
+package dyn
+
+import (
+	"scale/internal/sched"
+)
+
+// GroupLoad is the compact per-task-group load of one scheduling batch —
+// the same shape the simulators memoize per profile (core schedmemo): the
+// timing engine and balance metrics consume only these sums, never the
+// per-task vertex lists.
+type GroupLoad struct {
+	Edges    int64
+	Vertices int64
+	Tasks    int32
+}
+
+// schedTable is the delta-invalidated schedule cache: one entry per
+// consecutive vertex batch of size batchSize, each holding the compact
+// group loads produced by Algorithm 1 for that batch. A mutation marks
+// dirty only the batches containing a degree-changed (or newly added)
+// vertex; refresh recomputes dirty entries and reuses the rest, counting
+// both so the serving tier can report an invalidation hit rate.
+//
+// The table is owned by a dyn.Graph and accessed only under its lock, so it
+// needs no synchronization of its own (the compact Scheduler it reuses is
+// not concurrency-safe).
+type schedTable struct {
+	batchSize int
+	scheduler *sched.Scheduler // compact: no vertex materialization
+
+	entries []tableEntry
+	ids     []int32 // shared 0..n-1 id backing; batches subslice it
+
+	reused, recomputed int64
+}
+
+type tableEntry struct {
+	valid bool
+	loads []GroupLoad
+}
+
+func newSchedTable(cfg sched.Config, batchSize int) (*schedTable, error) {
+	s, err := sched.NewScheduler(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	return &schedTable{batchSize: batchSize, scheduler: s}, nil
+}
+
+// markDirty invalidates the batch containing vertex v. Vertices past the
+// current table end (new vertices) land in batches that don't exist yet;
+// refresh treats table growth as dirty automatically, so nothing to do.
+func (t *schedTable) markDirty(v int32) {
+	if b := int(v) / t.batchSize; b < len(t.entries) {
+		t.entries[b].valid = false
+	}
+}
+
+// size returns the current number of table entries.
+func (t *schedTable) size() int { return len(t.entries) }
+
+// counters returns the cumulative (reused, recomputed) refresh counters.
+func (t *schedTable) counters() (int64, int64) { return t.reused, t.recomputed }
+
+// refresh brings the table up to date with the degree sequence, recomputing
+// only invalid entries. It returns this call's (reused, recomputed) counts
+// and accumulates them into the table's lifetime counters.
+func (t *schedTable) refresh(degrees []int32) (reused, recomputed int64, err error) {
+	n := len(degrees)
+	want := (n + t.batchSize - 1) / t.batchSize
+	// Rebuild the shared id slice only on growth; batches subslice it.
+	if len(t.ids) < n {
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		t.ids = ids
+	}
+	if want != len(t.entries) {
+		// Shrink never happens (vertices are only added); on growth the
+		// previous final batch may have gained members, so re-do it.
+		if len(t.entries) > 0 && want > len(t.entries) {
+			t.entries[len(t.entries)-1].valid = false
+		}
+		for len(t.entries) < want {
+			t.entries = append(t.entries, tableEntry{})
+		}
+		t.entries = t.entries[:want]
+	}
+	for b := range t.entries {
+		if t.entries[b].valid {
+			reused++
+			continue
+		}
+		start := b * t.batchSize
+		end := start + t.batchSize
+		if end > n {
+			end = n
+		}
+		groups, serr := t.scheduler.Schedule(degrees, t.ids[start:end])
+		if serr != nil {
+			return reused, recomputed, serr
+		}
+		loads := t.entries[b].loads
+		if cap(loads) < len(groups) {
+			loads = make([]GroupLoad, len(groups))
+		}
+		loads = loads[:len(groups)]
+		for i, grp := range groups {
+			loads[i] = GroupLoad{
+				Edges:    grp.Edges(),
+				Vertices: int64(grp.NumVertices()),
+				Tasks:    int32(len(grp.Tasks)),
+			}
+		}
+		t.entries[b] = tableEntry{valid: true, loads: loads}
+		recomputed++
+	}
+	t.reused += reused
+	t.recomputed += recomputed
+	return reused, recomputed, nil
+}
+
+// Loads returns a copy of the current per-batch group loads, refreshing any
+// stale entries first. Tests use it to compare delta-refreshed state against
+// a from-scratch schedule.
+func (g *Graph) Loads() ([][]GroupLoad, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, _, err := g.table.refresh(g.degrees); err != nil {
+		return nil, err
+	}
+	out := make([][]GroupLoad, len(g.table.entries))
+	for i, e := range g.table.entries {
+		out[i] = append([]GroupLoad(nil), e.loads...)
+	}
+	return out, nil
+}

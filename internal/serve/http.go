@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"scale"
+	"scale/internal/dyn"
 	"scale/internal/fault"
 	"scale/internal/graph"
 	"scale/internal/shard"
@@ -35,6 +36,17 @@ type inferBody struct {
 	// Precision selects the execution tier: "" (the server's default
 	// precision), "fp32", or "int8". Unknown values are 400 bad_input.
 	Precision string `json:"precision,omitempty"`
+	// Graph selects the graph source: "" runs the request-carried
+	// edges/features; "dynamic" runs the server's mutable graph
+	// (Config.Dynamic) and ignores NumVertices/Edges/Features.
+	Graph string `json:"graph,omitempty"`
+	// SampleFanout > 0 enables GraphSAGE-style fixed-fanout sampled
+	// inference: each layer aggregates over at most SampleFanout
+	// in-neighbors per vertex, drawn deterministically from SampleSeed.
+	// Responses are byte-identical across worker counts and replays of
+	// the same (seed, fanout) pair.
+	SampleFanout int    `json:"sample_fanout,omitempty"`
+	SampleSeed   uint64 `json:"sample_seed,omitempty"`
 }
 
 // inferResponse is the POST /v1/infer success payload.
@@ -88,7 +100,9 @@ type healthResponse struct {
 
 // classify maps an error to its HTTP status and error kind, in precedence
 // order: contained panics are 500 even when the panic value wraps an input
-// sentinel, deadlines are 408, drain refusals 503, input sentinels 400.
+// sentinel, deadlines are 408, drain refusals 503, a mid-compaction
+// dynamic graph 409 (retryable — the batch itself may be fine), input
+// sentinels 400.
 func classify(err error) (int, string) {
 	if err == nil {
 		return http.StatusOK, ""
@@ -101,6 +115,8 @@ func classify(err error) (int, string) {
 		return http.StatusRequestTimeout, "timeout"
 	case errors.Is(err, errDraining):
 		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, dyn.ErrCompacting):
+		return http.StatusConflict, "compacting"
 	case fault.IsInput(err):
 		return http.StatusBadRequest, "bad_input"
 	default:
@@ -120,10 +136,10 @@ func writeError(w http.ResponseWriter, code int, msg, kind string) {
 }
 
 // writeMapped renders err through classify, attaching Retry-After to
-// load-shedding answers.
+// load-shedding (and mid-compaction) answers.
 func (s *Server) writeMapped(w http.ResponseWriter, err error) {
 	code, kind := classify(err)
-	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable || code == http.StatusConflict {
 		w.Header().Set("Retry-After", retrySeconds(s.cfg.RetryAfter))
 	}
 	writeError(w, code, err.Error(), kind)
@@ -218,6 +234,22 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	if precision == "" {
 		precision = "fp32"
+	}
+	// Dynamic-graph and sampled requests run directly: the dynamic vertex
+	// set is the server's own, and per-request sampling seeds bind to
+	// request-local vertex ids — disjoint-union micro-batching (which
+	// shifts ids) and shard routing do not apply to either.
+	if body.Graph == "dynamic" || body.SampleFanout > 0 {
+		if body.Graph != "" && body.Graph != "dynamic" {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown graph source %q", body.Graph), "bad_input")
+			return
+		}
+		s.handleInferDirect(w, r, body, precision)
+		return
+	}
+	if body.Graph != "" {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown graph source %q", body.Graph), "bad_input")
+		return
 	}
 	if s.cfg.ShardPool != nil && body.NumVertices >= s.cfg.ShardMinVertices {
 		s.handleInferSharded(w, r, body, precision)
@@ -462,6 +494,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.Render(w, s.LiveSessions())
+	if s.cfg.Dynamic != nil {
+		writeDynMetrics(w, s.cfg.Dynamic.Stats())
+	}
 	if s.cfg.ShardPool != nil {
 		degraded := 0
 		if s.cfg.ShardPool.Degraded() {

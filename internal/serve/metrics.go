@@ -71,6 +71,16 @@ type Metrics struct {
 	// SessionsCreated and SessionsEvicted track the session cache.
 	SessionsCreated atomic.Int64
 	SessionsEvicted atomic.Int64
+	// MutationBatches / MutationOps count accepted /v1/mutate batches and
+	// the individual deltas they carried; MutationsRejected counts batches
+	// refused (malformed input or mid-compaction 409s).
+	MutationBatches   atomic.Int64
+	MutationOps       atomic.Int64
+	MutationsRejected atomic.Int64
+	// DynRequests counts infer requests served from the dynamic graph;
+	// SampledRequests counts fixed-fanout sampled infers (either source).
+	DynRequests     atomic.Int64
+	SampledRequests atomic.Int64
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -169,6 +179,11 @@ func (m *Metrics) Render(w io.Writer, liveSessions int) {
 	counter("scale_serve_panics_contained_total", "Backend panics isolated into 500 responses.", m.PanicsContained.Load())
 	counter("scale_serve_sessions_created_total", "Sessions constructed by the cache.", m.SessionsCreated.Load())
 	counter("scale_serve_sessions_evicted_total", "Sessions evicted by the cache.", m.SessionsEvicted.Load())
+	counter("scale_serve_mutation_batches_total", "Accepted /v1/mutate batches.", m.MutationBatches.Load())
+	counter("scale_serve_mutation_ops_total", "Individual graph deltas applied via /v1/mutate.", m.MutationOps.Load())
+	counter("scale_serve_mutations_rejected_total", "Mutation batches refused (bad input or mid-compaction).", m.MutationsRejected.Load())
+	counter("scale_serve_dyn_requests_total", "Infer requests served from the dynamic graph.", m.DynRequests.Load())
+	counter("scale_serve_sampled_requests_total", "Fixed-fanout sampled infer requests.", m.SampledRequests.Load())
 	fmt.Fprintf(w, "# HELP scale_serve_sessions_live Sessions currently cached.\n# TYPE scale_serve_sessions_live gauge\nscale_serve_sessions_live %d\n", liveSessions)
 
 	m.mu.Lock()

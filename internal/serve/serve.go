@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"scale"
+	"scale/internal/dyn"
 	"scale/internal/shard"
 )
 
@@ -76,6 +77,17 @@ type Config struct {
 	// more in halo round-trips than they gain in parallelism; raising the
 	// floor keeps them on the local micro-batcher.
 	ShardMinVertices int
+	// Dynamic, when set, is the server's mutable graph: POST /v1/mutate
+	// applies batched deltas to it, and infer requests with
+	// "graph":"dynamic" run against its current snapshot instead of
+	// carrying their own edges/features. /metrics gains mutation,
+	// compaction, and schedule-invalidation counters.
+	Dynamic *dyn.Graph
+	// SampleWorkers bounds row-level parallelism on the direct inference
+	// path (dynamic-graph and sampled requests, which bypass the
+	// micro-batcher; 0 = all cores). fp32 results are bit-identical for
+	// every value — the determinism tests sweep it.
+	SampleWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +162,7 @@ func New(cfg Config) *Server {
 	s.queue = newQueue(s.cfg.QueueDepth)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/infer", s.instrument("infer", s.handleInfer))
+	s.mux.HandleFunc("/v1/mutate", s.instrument("mutate", s.handleMutate))
 	s.mux.HandleFunc("/v1/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)

@@ -136,6 +136,77 @@ func (sess *Session) PrecisionStats() (compression, avgBytes float64) {
 	return sess.plan.Compression(), sess.plan.AvgBytes()
 }
 
+// InferGraph runs one functional forward pass over an already-materialized
+// CSR graph and feature matrix, returning the final-layer embeddings. It is
+// the dynamic-graph serving primitive: the serving tier snapshots a
+// dyn.Graph (View) and infers on the frozen snapshot without re-encoding it
+// through an edge list. workers bounds row-level parallelism (0 = all
+// cores); fp32 results are bit-identical for every worker count.
+func (sess *Session) InferGraph(ctx context.Context, g *graph.Graph, x *tensor.Matrix, workers int) ([][]float32, error) {
+	if err := sess.validateMatrix(g, x); err != nil {
+		return nil, err
+	}
+	outs, err := sess.accel.ForwardContext(ctx, sess.model, g, x, workers)
+	if err != nil {
+		return nil, err
+	}
+	return copyRows(outs[len(outs)-1]), nil
+}
+
+// InferSampled runs one forward pass with a distinct graph per layer —
+// GraphSAGE-style fixed-fanout sampled inference, where layer li aggregates
+// over layers[li] (a fanout-capped subgraph drawn by dyn.Sampler). Every
+// layer graph must cover the same vertex set. Each layer executes with the
+// layer graph's own in-degrees (nil degrees override), so mean-style
+// aggregation normalizes by the sampled neighborhood size, as GraphSAGE
+// specifies. Results are bit-identical across worker counts: the sampled
+// graphs depend only on (seed, layer, vertex) and the fp32 engine is
+// worker-count invariant.
+func (sess *Session) InferSampled(ctx context.Context, layers []*graph.Graph, x *tensor.Matrix, workers int) ([][]float32, error) {
+	if len(layers) != len(sess.model.Layers) {
+		return nil, fmt.Errorf("scale: %d sampled graphs for %d layers: %w", len(layers), len(sess.model.Layers), fault.ErrBadGraph)
+	}
+	if err := sess.validateMatrix(layers[0], x); err != nil {
+		return nil, err
+	}
+	h := x
+	for li, g := range layers {
+		if g.NumVertices() != x.Rows {
+			return nil, fmt.Errorf("scale: layer %d graph has %d vertices, want %d: %w", li, g.NumVertices(), x.Rows, fault.ErrBadGraph)
+		}
+		var err error
+		h, err = sess.accel.ForwardLayerContext(ctx, sess.model, li, g, h, nil, workers)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return copyRows(h), nil
+}
+
+// validateMatrix checks a materialized (graph, features) pair against the
+// session's input dimension with the same typed sentinels as validate.
+func (sess *Session) validateMatrix(g *graph.Graph, x *tensor.Matrix) error {
+	if g.NumVertices() < 1 {
+		return fmt.Errorf("scale: need at least one vertex, got %d: %w", g.NumVertices(), fault.ErrBadGraph)
+	}
+	if x.Rows != g.NumVertices() {
+		return fmt.Errorf("scale: %d feature rows for %d vertices: %w", x.Rows, g.NumVertices(), fault.ErrBadShape)
+	}
+	if x.Cols != sess.dims[0] {
+		return fmt.Errorf("scale: feature width %d, model wants %d: %w", x.Cols, sess.dims[0], fault.ErrBadShape)
+	}
+	return nil
+}
+
+// copyRows detaches a matrix into per-vertex row slices.
+func copyRows(m *tensor.Matrix) [][]float32 {
+	rows := make([][]float32, m.Rows)
+	for v := range rows {
+		rows[v] = append([]float32(nil), m.Row(v)...)
+	}
+	return rows
+}
+
 // InferRequest is one graph + feature matrix input to Session inference.
 // Edges are directed src→dst aggregation edges; Features is row-major
 // NumVertices×dims[0].
